@@ -1,0 +1,33 @@
+//! Detector substrate throughput: rendering, training, inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scenic_core::sampler::Sampler;
+use scenic_detect::{Dataset, Detector};
+use scenic_gta::{scenarios, MapConfig, World};
+
+fn bench_detector(c: &mut Criterion) {
+    let world = World::generate(MapConfig::default());
+    let scenario = scenic_core::compile_with_world(scenarios::TWO_CARS, world.core()).unwrap();
+    let scene = Sampler::new(&scenario).sample_seeded(5).unwrap();
+
+    c.bench_function("render_scene", |b| {
+        b.iter(|| scenic_sim::render_scene(&scene));
+    });
+
+    let train = Dataset::from_source(scenarios::TWO_CARS, world.core(), 100, 1).unwrap();
+    c.bench_function("train_detector_100_images", |b| {
+        b.iter(|| Detector::train(&train.images));
+    });
+
+    let model = Detector::train(&train.images);
+    let image = scenic_sim::render_scene(&scene);
+    c.bench_function("detect_one_image", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| model.detect(&image, &mut rng));
+    });
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

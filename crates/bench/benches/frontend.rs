@@ -1,0 +1,39 @@
+//! Front-end throughput: lexing, parsing, and compiling scenarios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scenic_gta::{scenarios, MapConfig, World};
+
+fn bench_frontend(c: &mut Criterion) {
+    let sources: Vec<(&str, &str)> = vec![
+        ("simplest", scenarios::SIMPLEST),
+        ("bumper_to_bumper", scenarios::BUMPER_TO_BUMPER),
+        ("gta_lib", scenic_gta::GTA_LIB_SOURCE),
+        ("mars_bottleneck", scenic_mars::BOTTLENECK),
+    ];
+    let mut lex_group = c.benchmark_group("lex");
+    for (name, src) in &sources {
+        lex_group.bench_function(*name, |b| {
+            b.iter(|| scenic_lang::lex(src).expect("lexes"));
+        });
+    }
+    lex_group.finish();
+
+    let mut parse_group = c.benchmark_group("parse");
+    for (name, src) in &sources {
+        parse_group.bench_function(*name, |b| {
+            b.iter(|| scenic_lang::parse(src).expect("parses"));
+        });
+    }
+    parse_group.finish();
+
+    let world = World::generate(MapConfig::default());
+    c.bench_function("compile_bumper_with_world", |b| {
+        b.iter(|| {
+            scenic_core::compile_with_world(scenarios::BUMPER_TO_BUMPER, world.core())
+                .expect("compiles")
+        });
+    });
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

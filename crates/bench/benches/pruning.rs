@@ -1,0 +1,39 @@
+//! Pruning effectiveness (Appendix D): scene generation with vs without
+//! the §5.2 sample-space pruning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scenic_core::prune::PruneParams;
+use scenic_core::sampler::{Sampler, SamplerConfig};
+use scenic_gta::{scenarios, MapConfig, World};
+
+fn bench_pruning(c: &mut Criterion) {
+    let world = World::generate(MapConfig::default());
+    let pi = std::f64::consts::PI;
+    let pruned = world
+        .pruned(&PruneParams {
+            min_radius: 1.0,
+            relative_heading: Some((pi - 0.6, pi + 0.6)),
+            max_distance: 50.0,
+            heading_tolerance: 0.0,
+            min_width: None,
+        })
+        .unwrap();
+
+    let mut group = c.benchmark_group("oncoming_scenario");
+    group.sample_size(10);
+    for (name, w) in [("unpruned", world.core().clone()), ("pruned", pruned)] {
+        let scenario = scenic_core::compile_with_world(scenarios::ONCOMING, &w).unwrap();
+        group.bench_function(name, |b| {
+            let mut sampler = Sampler::new(&scenario)
+                .with_seed(3)
+                .with_config(SamplerConfig {
+                    max_iterations: 100_000,
+                });
+            b.iter(|| sampler.sample().expect("scene"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Sampling throughput per Appendix A scenario.
+//!
+//! The paper (§5.2): "all reasonable scenarios we tried required only
+//! several hundred iterations at most, yielding a sample within a few
+//! seconds". These benches measure wall-clock per accepted scene for
+//! each gallery scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scenic_core::sampler::{Sampler, SamplerConfig};
+use scenic_gta::{scenarios, MapConfig, World};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let world = World::generate(MapConfig::default());
+    let cases: Vec<(&str, String)> = vec![
+        ("simplest_a2", scenarios::SIMPLEST.to_string()),
+        ("one_car_a3", scenarios::ONE_CAR.to_string()),
+        ("badly_parked_a4", scenarios::BADLY_PARKED.to_string()),
+        ("oncoming_a5", scenarios::ONCOMING.to_string()),
+        ("two_cars_a7", scenarios::TWO_CARS.to_string()),
+        ("overlapping_a8", scenarios::TWO_OVERLAPPING.to_string()),
+        (
+            "four_cars_a9",
+            scenarios::FOUR_CARS_BAD_CONDITIONS.to_string(),
+        ),
+        ("platoon_a10", scenarios::PLATOON_DAYTIME.to_string()),
+        ("bumper_a11", scenarios::BUMPER_TO_BUMPER.to_string()),
+        // User-defined specifier (§8 extension): measures the overhead
+        // of interpreted specifier bodies inside Algorithm 1.
+        ("parked_row_using", scenarios::PARKED_ROW.to_string()),
+    ];
+    let mut group = c.benchmark_group("scene_generation");
+    group.sample_size(10);
+    for (name, source) in &cases {
+        let scenario = scenic_core::compile_with_world(source, world.core()).expect("compiles");
+        group.bench_function(*name, |b| {
+            let mut sampler = Sampler::new(&scenario)
+                .with_seed(7)
+                .with_config(SamplerConfig {
+                    max_iterations: 100_000,
+                });
+            b.iter(|| sampler.sample().expect("scene"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mars(c: &mut Criterion) {
+    let world = scenic_mars::world();
+    let scenario = scenic_core::compile_with_world(scenic_mars::BOTTLENECK, &world).unwrap();
+    let mut group = c.benchmark_group("scene_generation");
+    group.sample_size(10);
+    group.bench_function("mars_bottleneck_a12", |b| {
+        let mut sampler = Sampler::new(&scenario)
+            .with_seed(7)
+            .with_config(SamplerConfig {
+                max_iterations: 100_000,
+            });
+        b.iter(|| sampler.sample().expect("scene"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios, bench_mars);
+criterion_main!(benches);

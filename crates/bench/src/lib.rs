@@ -1,0 +1,43 @@
+//! # scenic-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§6, Appendix D). Each binary under `src/bin/`
+//! prints one artifact, comparing against the paper's reported numbers;
+//! the Criterion benches under `benches/` measure sampling, pruning,
+//! front-end, and detector performance.
+//!
+//! Scale: the paper trained a real CNN on thousands of GTAV renders;
+//! our substrate is cheap enough to rerun end-to-end, but dataset sizes
+//! are scaled down by default (pass a scale factor as `argv[1]`, 1.0 =
+//! paper-proportional counts scaled by 1/4).
+
+pub mod experiments;
+pub mod seed_case;
+
+use scenic_gta::{MapConfig, World};
+
+/// The standard world every experiment runs against.
+pub fn standard_world() -> World {
+    World::generate(MapConfig::default())
+}
+
+/// Parses the scale factor from the command line (default 1.0).
+pub fn scale_from_args() -> f64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scales a base count.
+pub fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(4)
+}
+
+/// Prints a standard experiment header.
+pub fn header(title: &str, paper: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("paper reference: {paper}");
+    println!("================================================================");
+}

@@ -1,0 +1,424 @@
+//! Domain-specific sample-space pruning (§5.2, Algorithms 2 & 3).
+//!
+//! Scenic's lack of random control flow plus the geometric structure of
+//! its constraints allow restricting the regions objects are sampled
+//! from *before* rejection sampling, borrowing configuration-space ideas
+//! from robotic path planning:
+//!
+//! - **containment**: an object uniform in `R` that must fit inside `C`
+//!   can only be centered in `R ∩ erode(C, minRadius)`;
+//! - **orientation** (Algorithm 2): with bounded relative heading and a
+//!   maximum distance `M` between objects aligned to a polygonal vector
+//!   field, each cell `P` shrinks to `P ∩ dilate(Q_i, M)` over the cells
+//!   `Q_i` satisfying the heading constraint;
+//! - **size** (Algorithm 3): cells too narrow to hold the whole
+//!   configuration shrink to their parts within `M` of other cells.
+//!
+//! All three produce a smaller region for *position sampling only*; the
+//! original vector field still supplies orientations, and the default
+//! requirements are still checked afterwards, so pruning never changes
+//! which scenes are accepted — only how often the sampler wastes a run.
+
+use crate::error::RunResult;
+use crate::value::Value;
+use crate::world::World;
+use scenic_geom::clip::{dilate_convex, restrict_to_dilation};
+use scenic_geom::field::FieldCell;
+use scenic_geom::{Heading, Polygon, Region};
+use scenic_lang::ast::{Expr, Program, Specifier, StmtKind};
+use std::rc::Rc;
+
+/// Parameters for the §5.2 pruning techniques.
+#[derive(Debug, Clone, Copy)]
+pub struct PruneParams {
+    /// Lower bound on the distance from an object's center to its
+    /// bounding box (containment pruning); 0 disables.
+    pub min_radius: f64,
+    /// Allowed relative-heading interval `A` between objects, in
+    /// radians (orientation pruning); `None` disables.
+    pub relative_heading: Option<(f64, f64)>,
+    /// Maximum distance `M` between related objects.
+    pub max_distance: f64,
+    /// Bound `δ` on the deviation between an object's heading and the
+    /// field at its position.
+    pub heading_tolerance: f64,
+    /// Minimum width of the whole configuration (size pruning); `None`
+    /// disables.
+    pub min_width: Option<f64>,
+}
+
+impl Default for PruneParams {
+    fn default() -> Self {
+        PruneParams {
+            min_radius: 0.0,
+            relative_heading: None,
+            max_distance: 50.0,
+            heading_tolerance: 0.0,
+            min_width: None,
+        }
+    }
+}
+
+/// Algorithm 2: pruning based on orientation.
+///
+/// Keeps, for each cell `P`, the parts within `M` of some cell `Q` whose
+/// relative heading (up to `±2δ` perturbation) lies in `A`.
+pub fn prune_by_heading(
+    cells: &[FieldCell],
+    allowed: (f64, f64),
+    max_distance: f64,
+    delta: f64,
+) -> Vec<Polygon> {
+    let mut out = Vec::new();
+    for p in cells {
+        for q in cells {
+            let rel = Heading(q.heading.radians() - p.heading.radians())
+                .normalized()
+                .radians();
+            // The interval rel ± 2δ must intersect A.
+            let lo = rel - 2.0 * delta;
+            let hi = rel + 2.0 * delta;
+            if hi < allowed.0 || lo > allowed.1 {
+                continue;
+            }
+            if let Some(piece) = restrict_to_dilation(&p.polygon, &q.polygon, max_distance) {
+                out.push(piece);
+            }
+        }
+    }
+    dedup_pieces(out)
+}
+
+/// Algorithm 3: pruning based on size.
+///
+/// Cells narrower than `min_width` (measured across the traffic
+/// direction) cannot hold the whole configuration; they shrink to their
+/// parts within `M` of *other* cells.
+pub fn prune_by_width(cells: &[FieldCell], max_distance: f64, min_width: f64) -> Vec<Polygon> {
+    let mut out = Vec::new();
+    for (i, p) in cells.iter().enumerate() {
+        if p.polygon.extent_across(p.heading) >= min_width {
+            out.push(p.polygon.clone());
+            continue;
+        }
+        for (j, q) in cells.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some(piece) = restrict_to_dilation(&p.polygon, &q.polygon, max_distance) {
+                out.push(piece);
+            }
+        }
+    }
+    dedup_pieces(out)
+}
+
+/// Drops pieces entirely contained in an earlier piece (cheap
+/// near-deduplication; exact polygon union is unnecessary because the
+/// sampler re-checks requirements).
+fn dedup_pieces(pieces: Vec<Polygon>) -> Vec<Polygon> {
+    let mut kept: Vec<Polygon> = Vec::with_capacity(pieces.len());
+    'outer: for piece in pieces {
+        for existing in &kept {
+            let near_duplicate = (piece.area() - existing.area()).abs()
+                < 0.02 * existing.area().max(1.0)
+                && piece.centroid().approx_eq(existing.centroid(), 0.5);
+            if near_duplicate || piece.vertices().iter().all(|&v| existing.contains(v)) {
+                continue 'outer;
+            }
+        }
+        kept.push(piece);
+    }
+    kept
+}
+
+/// Combined pruning of a polygonal-cell road map, returning the pruned
+/// position-sampling region (orientations still come from the original
+/// field).
+pub fn prune_cells(cells: &[FieldCell], params: &PruneParams) -> Vec<Polygon> {
+    let mut polys: Vec<Polygon> = match params.relative_heading {
+        Some(allowed) => prune_by_heading(
+            cells,
+            allowed,
+            params.max_distance,
+            params.heading_tolerance,
+        ),
+        None => cells.iter().map(|c| c.polygon.clone()).collect(),
+    };
+    if let Some(min_width) = params.min_width {
+        // Re-wrap the pruned polygons with their original headings for
+        // the width measurement: use the heading of the source cell that
+        // contains each piece's centroid.
+        let field_heading = |poly: &Polygon| {
+            let c = poly.centroid();
+            cells
+                .iter()
+                .find(|cell| cell.polygon.contains(c))
+                .map(|cell| cell.heading)
+                .unwrap_or(Heading::NORTH)
+        };
+        let pieces: Vec<FieldCell> = polys
+            .iter()
+            .map(|p| FieldCell {
+                polygon: p.clone(),
+                heading: field_heading(p),
+            })
+            .collect();
+        polys = prune_by_width(&pieces, params.max_distance, min_width);
+    }
+    polys
+}
+
+/// Containment pruning of an arbitrary region (the `erode` technique).
+pub fn prune_containment(region: &Region, min_radius: f64) -> Region {
+    if min_radius <= 0.0 {
+        return region.clone();
+    }
+    region.eroded(min_radius)
+}
+
+/// Over-approximate dilated footprint of a set of cells (used by callers
+/// to bound where related objects can be).
+pub fn dilated_footprint(cells: &[FieldCell], margin: f64) -> Vec<Polygon> {
+    cells
+        .iter()
+        .map(|c| dilate_convex(&c.polygon, margin))
+        .collect()
+}
+
+/// Hints extracted syntactically from a scenario for automatic pruning.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PruneHints {
+    /// Largest `roadDeviation`-style wiggle (radians) seen on any
+    /// object, bounding `δ`.
+    pub heading_wiggle: Option<f64>,
+    /// Smallest explicit `visibleDistance` (meters), bounding `M`.
+    pub visible_distance: Option<f64>,
+    /// Number of objects constructed at the top level.
+    pub object_count: usize,
+}
+
+/// Scans a parsed program for pruning hints: `with roadDeviation (a, b)`
+/// wiggles (bounding the field-relative heading deviation δ),
+/// `facing (a, b) deg relative to <field>` specifiers, and explicit
+/// `with visibleDistance N` overrides (bounding the max distance M).
+pub fn hints_from_program(program: &Program) -> PruneHints {
+    let mut hints = PruneHints::default();
+    for stmt in &program.statements {
+        let exprs: Vec<&Expr> = match &stmt.kind {
+            StmtKind::Expr(e) => vec![e],
+            StmtKind::Assign { value, .. } => vec![value],
+            _ => continue,
+        };
+        for expr in exprs {
+            scan_expr(expr, &mut hints);
+        }
+    }
+    hints
+}
+
+fn scan_expr(expr: &Expr, hints: &mut PruneHints) {
+    if let Expr::Ctor { specifiers, .. } = expr {
+        hints.object_count += 1;
+        for spec in specifiers {
+            match spec {
+                Specifier::With(prop, value) if prop == "roadDeviation" => {
+                    if let Some(b) = interval_bound(value) {
+                        hints.heading_wiggle = Some(hints.heading_wiggle.map_or(b, |w| w.max(b)));
+                    }
+                }
+                Specifier::With(prop, Expr::Number(n)) if prop == "visibleDistance" => {
+                    hints.visible_distance =
+                        Some(hints.visible_distance.map_or(*n, |d: f64| d.min(*n)));
+                }
+                Specifier::Facing(Expr::RelativeTo(lhs, _)) => {
+                    if let Some(b) = interval_bound(lhs) {
+                        hints.heading_wiggle = Some(hints.heading_wiggle.map_or(b, |w| w.max(b)));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Bound of an interval-like expression `(a, b)` / `(a, b) deg` /
+/// `resample(x)` (conservative `None` when unknown).
+fn interval_bound(expr: &Expr) -> Option<f64> {
+    match expr {
+        Expr::Interval(lo, hi) => {
+            let lo = const_scalar(lo)?;
+            let hi = const_scalar(hi)?;
+            Some(lo.abs().max(hi.abs()))
+        }
+        Expr::Deg(inner) => interval_bound(inner).map(f64::to_radians),
+        Expr::Number(n) => Some(n.abs()),
+        Expr::Neg(inner) => interval_bound(inner),
+        _ => None,
+    }
+}
+
+fn const_scalar(expr: &Expr) -> Option<f64> {
+    match expr {
+        Expr::Number(n) => Some(*n),
+        Expr::Neg(e) => const_scalar(e).map(|n| -n),
+        Expr::Deg(e) => const_scalar(e).map(f64::to_radians),
+        _ => None,
+    }
+}
+
+/// Returns a copy of `world` with a module-native region replaced by a
+/// pruned version (e.g. substituting a pruned `road` for position
+/// sampling).
+///
+/// # Errors
+///
+/// Returns a runtime error if the module or native name is absent.
+pub fn world_with_region(
+    world: &World,
+    module: &str,
+    name: &str,
+    region: Region,
+) -> RunResult<World> {
+    let mut new_world = world.clone();
+    let m = new_world
+        .modules
+        .get_mut(module)
+        .ok_or_else(|| crate::error::ScenicError::runtime(format!("no module `{module}`")))?;
+    let slot = m
+        .natives
+        .iter_mut()
+        .find(|(n, _)| n == name)
+        .ok_or_else(|| {
+            crate::error::ScenicError::runtime(format!("no native `{name}` in `{module}`"))
+        })?;
+    slot.1 = Value::Region(Rc::new(region));
+    Ok(new_world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenic_geom::Vec2;
+
+    /// Two northbound lanes, a nearby southbound lane, and a remote
+    /// northbound lane.
+    fn lanes() -> Vec<FieldCell> {
+        vec![
+            FieldCell {
+                polygon: Polygon::rectangle(Vec2::new(0.0, 0.0), 6.0, 200.0),
+                heading: Heading::NORTH,
+            },
+            FieldCell {
+                polygon: Polygon::rectangle(Vec2::new(12.0, 0.0), 6.0, 200.0),
+                heading: Heading::NORTH,
+            },
+            FieldCell {
+                polygon: Polygon::rectangle(Vec2::new(24.0, 0.0), 6.0, 200.0),
+                heading: Heading::from_degrees(180.0),
+            },
+            FieldCell {
+                polygon: Polygon::rectangle(Vec2::new(500.0, 0.0), 6.0, 200.0),
+                heading: Heading::NORTH,
+            },
+        ]
+    }
+
+    #[test]
+    fn heading_pruning_oncoming_constraint() {
+        // An oncoming-car constraint (relative heading ~180°): only
+        // cells with an opposing cell within M survive, so the remote
+        // northbound lane at x = 500 disappears entirely.
+        let pi = std::f64::consts::PI;
+        let pruned = prune_by_heading(&lanes(), (pi - 0.2, pi + 0.2), 50.0, 0.0);
+        assert!(!pruned.is_empty());
+        assert!(
+            pruned.iter().all(|p| p.centroid().x < 100.0),
+            "remote aligned lane survived"
+        );
+        // The nearby opposing pair survives on both sides.
+        let total: f64 = pruned.iter().map(Polygon::area).sum();
+        assert!(total >= 3.0 * 6.0 * 200.0 * 0.95, "kept area {total}");
+    }
+
+    #[test]
+    fn heading_pruning_keeps_everything_when_unconstrained() {
+        let pruned = prune_by_heading(
+            &lanes(),
+            (-std::f64::consts::PI, std::f64::consts::PI),
+            1000.0,
+            0.0,
+        );
+        let total: f64 = pruned.iter().map(Polygon::area).sum();
+        assert!(total >= 4.0 * 6.0 * 200.0 * 0.99);
+    }
+
+    #[test]
+    fn heading_pruning_same_direction_keeps_self() {
+        // A ∋ 0 means every cell relates to itself, so nothing longer
+        // than M disappears, but the remote lane keeps only what is
+        // within M of *some* qualifying cell — itself, i.e. everything.
+        let pruned = prune_by_heading(&lanes(), (-0.175, 0.175), 50.0, 0.0);
+        let total: f64 = pruned.iter().map(Polygon::area).sum();
+        assert!(total >= 3.0 * 6.0 * 200.0 * 0.99, "kept {total}");
+    }
+
+    #[test]
+    fn width_pruning_restricts_narrow_cells() {
+        // Configuration needs 10m of width; each 6m lane is too narrow,
+        // so lanes survive only where another lane is within M.
+        let cells = lanes();
+        let pruned = prune_by_width(&cells, 10.0, 10.0);
+        // Lanes 0/1/2 are 12m apart (6m gap edge-to-edge): within M=10,
+        // so they survive (as clipped pieces); the remote lane has no
+        // neighbor within 10m and vanishes.
+        assert!(!pruned.is_empty());
+        assert!(pruned.iter().all(|p| p.centroid().x < 100.0));
+    }
+
+    #[test]
+    fn width_pruning_keeps_wide_cells() {
+        let wide = vec![FieldCell {
+            polygon: Polygon::rectangle(Vec2::ZERO, 50.0, 50.0),
+            heading: Heading::NORTH,
+        }];
+        let pruned = prune_by_width(&wide, 10.0, 20.0);
+        assert_eq!(pruned.len(), 1);
+        assert!((pruned[0].area() - 2500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn containment_pruning_erodes() {
+        let region = Region::rectangle(Vec2::ZERO, 20.0, 20.0);
+        let pruned = prune_containment(&region, 2.0);
+        assert!(pruned.contains(Vec2::ZERO));
+        assert!(!pruned.contains(Vec2::new(9.5, 0.0)));
+        assert!(region.contains(Vec2::new(9.5, 0.0)));
+    }
+
+    #[test]
+    fn hints_extracted_from_program() {
+        let program = scenic_lang::parse(
+            "wiggle = (-10 deg, 10 deg)\n\
+             ego = Car with roadDeviation (-10 deg, 10 deg)\n\
+             Car visible, with roadDeviation (-5 deg, 5 deg)\n\
+             Car with visibleDistance 30\n",
+        )
+        .unwrap();
+        let hints = hints_from_program(&program);
+        assert_eq!(hints.object_count, 3);
+        let w = hints.heading_wiggle.unwrap();
+        assert!((w - 10f64.to_radians()).abs() < 1e-9, "wiggle {w}");
+        assert_eq!(hints.visible_distance, Some(30.0));
+    }
+
+    #[test]
+    fn facing_relative_to_hint() {
+        let program =
+            scenic_lang::parse("ego = Car\nCar facing (-5, 5) deg relative to roadDirection\n")
+                .unwrap();
+        let hints = hints_from_program(&program);
+        let w = hints.heading_wiggle.unwrap();
+        assert!((w - 5f64.to_radians()).abs() < 1e-9);
+    }
+}

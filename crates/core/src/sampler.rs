@@ -1,0 +1,194 @@
+//! Scene generation by rejection sampling (§5.2).
+//!
+//! "Our implementation uses rejection sampling, generating scenes from
+//! the imperative part of the scenario until all requirements are
+//! satisfied." The sampler wraps [`Scenario::generate`] in a retry loop
+//! with an iteration budget and per-reason rejection statistics —
+//! the statistics reproduce the pruning measurements of Appendix D.
+
+use crate::error::{Rejection, RunResult, ScenicError};
+use crate::interp::Scenario;
+use crate::scene::Scene;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sampler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Maximum rejection-sampling iterations per scene (the paper found
+    /// "all reasonable scenarios … required only several hundred
+    /// iterations at most").
+    pub max_iterations: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// Cumulative statistics across all `sample` calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplerStats {
+    /// Scenes successfully generated.
+    pub scenes: usize,
+    /// Total interpreter runs (accepted + rejected).
+    pub iterations: usize,
+    /// Rejections from user `require` statements.
+    pub requirement_rejections: usize,
+    /// Rejections from bounding-box collisions.
+    pub collision_rejections: usize,
+    /// Rejections from workspace containment.
+    pub containment_rejections: usize,
+    /// Rejections from ego visibility.
+    pub visibility_rejections: usize,
+    /// Rejections from empty/over-constrained regions.
+    pub empty_region_rejections: usize,
+}
+
+impl SamplerStats {
+    /// Total rejections of any kind.
+    pub fn rejections(&self) -> usize {
+        self.iterations - self.scenes
+    }
+
+    /// Mean interpreter runs needed per accepted scene.
+    pub fn iterations_per_scene(&self) -> f64 {
+        if self.scenes == 0 {
+            f64::NAN
+        } else {
+            self.iterations as f64 / self.scenes as f64
+        }
+    }
+
+    fn record(&mut self, rejection: &Rejection) {
+        match rejection {
+            Rejection::Requirement { .. } => self.requirement_rejections += 1,
+            Rejection::Collision => self.collision_rejections += 1,
+            Rejection::Containment => self.containment_rejections += 1,
+            Rejection::Visibility => self.visibility_rejections += 1,
+            Rejection::EmptyRegion => self.empty_region_rejections += 1,
+        }
+    }
+}
+
+/// A rejection sampler over a compiled scenario.
+///
+/// # Example
+///
+/// ```
+/// use scenic_core::sampler::Sampler;
+///
+/// let scenario = scenic_core::compile("ego = Object at 0 @ 0\nObject at 0 @ 5\n")?;
+/// let mut sampler = Sampler::new(&scenario);
+/// let scene = sampler.sample_seeded(7)?;
+/// assert_eq!(scene.objects.len(), 2);
+/// # Ok::<(), scenic_core::ScenicError>(())
+/// ```
+#[derive(Debug)]
+pub struct Sampler<'s> {
+    scenario: &'s Scenario,
+    config: SamplerConfig,
+    rng: StdRng,
+    stats: SamplerStats,
+}
+
+impl<'s> Sampler<'s> {
+    /// Creates a sampler with default configuration and an
+    /// entropy-seeded RNG.
+    pub fn new(scenario: &'s Scenario) -> Self {
+        Sampler {
+            scenario,
+            config: SamplerConfig::default(),
+            rng: StdRng::from_entropy(),
+            stats: SamplerStats::default(),
+        }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: SamplerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Reseeds the internal RNG (for reproducible streams).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> SamplerStats {
+        self.stats
+    }
+
+    /// Resets the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = SamplerStats::default();
+    }
+
+    /// Generates one scene, retrying rejected runs up to the configured
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenicError::MaxIterationsExceeded`] when the budget runs out;
+    /// program errors are passed through immediately.
+    pub fn sample(&mut self) -> RunResult<Scene> {
+        for _ in 0..self.config.max_iterations {
+            self.stats.iterations += 1;
+            let mut run_rng = StdRng::seed_from_u64(self.rng.gen());
+            match self.scenario.generate(&mut run_rng) {
+                Ok(scene) => {
+                    self.stats.scenes += 1;
+                    return Ok(scene);
+                }
+                Err(ScenicError::Rejected(r)) => {
+                    self.stats.record(&r);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(ScenicError::MaxIterationsExceeded {
+            limit: self.config.max_iterations,
+        })
+    }
+
+    /// Generates one scene from a deterministic seed (independent of the
+    /// sampler's own RNG stream, but statistics still accumulate).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sampler::sample`].
+    pub fn sample_seeded(&mut self, seed: u64) -> RunResult<Scene> {
+        let mut seed_rng = StdRng::seed_from_u64(seed);
+        for _ in 0..self.config.max_iterations {
+            self.stats.iterations += 1;
+            let mut run_rng = StdRng::seed_from_u64(seed_rng.gen());
+            match self.scenario.generate(&mut run_rng) {
+                Ok(scene) => {
+                    self.stats.scenes += 1;
+                    return Ok(scene);
+                }
+                Err(ScenicError::Rejected(r)) => {
+                    self.stats.record(&r);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(ScenicError::MaxIterationsExceeded {
+            limit: self.config.max_iterations,
+        })
+    }
+
+    /// Generates `n` scenes.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first hard error or exhausted budget.
+    pub fn sample_many(&mut self, n: usize) -> RunResult<Vec<Scene>> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}

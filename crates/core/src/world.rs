@@ -1,0 +1,120 @@
+//! Worlds: the simulator-specific context a scenario runs against.
+//!
+//! §1 of the paper: using Scenic with a simulator requires "(1) writing a
+//! small Scenic library defining the types of objects supported by the
+//! simulator, as well as the geometry of the workspace; (2) writing an
+//! interface layer converting the configurations output by Scenic into
+//! the simulator's input format."
+//!
+//! A [`World`] packages exactly part (1): the workspace region plus
+//! importable modules. A module can contribute *native* values (regions,
+//! vector fields, namespaces, functions implemented in Rust) and/or
+//! Scenic *source* (class definitions and helper functions, like the
+//! paper's `gtaLib` in Appendix A.1).
+
+use crate::value::Value;
+use scenic_geom::Region;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// An importable library module.
+#[derive(Default, Clone)]
+pub struct Module {
+    /// Values injected into the global scope when imported.
+    pub natives: Vec<(String, Value)>,
+    /// Scenic source executed (once) when imported.
+    pub source: Option<String>,
+}
+
+/// The context a scenario is compiled and sampled against.
+#[derive(Clone)]
+pub struct World {
+    /// The workspace region objects must stay inside (default
+    /// requirement, §3).
+    pub workspace: Rc<Region>,
+    /// Importable modules by name.
+    pub modules: HashMap<String, Module>,
+    /// Modules imported implicitly before the program runs (so
+    /// scenarios may omit the paper's `import gtaLib` line, which §3
+    /// itself suppresses after the first example).
+    pub auto_imports: Vec<String>,
+}
+
+impl World {
+    /// An empty world with an unbounded workspace and no libraries.
+    pub fn bare() -> Self {
+        World {
+            workspace: Rc::new(Region::Everywhere),
+            modules: HashMap::new(),
+            auto_imports: Vec::new(),
+        }
+    }
+
+    /// A world with the given workspace region.
+    pub fn with_workspace(region: Region) -> Self {
+        World {
+            workspace: Rc::new(region),
+            ..World::bare()
+        }
+    }
+
+    /// Registers a module.
+    pub fn add_module(&mut self, name: impl Into<String>, module: Module) -> &mut Self {
+        self.modules.insert(name.into(), module);
+        self
+    }
+
+    /// Registers a module and imports it automatically.
+    pub fn add_auto_module(&mut self, name: impl Into<String>, module: Module) -> &mut Self {
+        let name = name.into();
+        self.modules.insert(name.clone(), module);
+        self.auto_imports.push(name);
+        self
+    }
+
+    /// Looks up a module.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.get(name)
+    }
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World::bare()
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("modules", &self.modules.keys().collect::<Vec<_>>())
+            .field("auto_imports", &self.auto_imports)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_registration() {
+        let mut w = World::bare();
+        w.add_module(
+            "lib",
+            Module {
+                natives: vec![("x".into(), Value::Number(1.0))],
+                source: None,
+            },
+        );
+        assert!(w.module("lib").is_some());
+        assert!(w.module("other").is_none());
+    }
+
+    #[test]
+    fn auto_imports_recorded() {
+        let mut w = World::bare();
+        w.add_auto_module("lib", Module::default());
+        assert_eq!(w.auto_imports, vec!["lib".to_string()]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Classical image augmentation: the §6.4 retraining baseline.
+//!
+//! "We modified the original misclassified image by randomly cropping
+//! 10%–20% on each side, flipping horizontally with probability 50%, and
+//! applying Gaussian blur with σ ∈ [0.0, 3.0]" (via imgaug in the
+//! paper). In our feature-level substrate, crops rescale/translate the
+//! boxes, flips mirror the lateral geometry, and blur adds an effective
+//! severity — none of which changes the *semantic* features (depth
+//! regime, model, color, context), which is exactly why the baseline
+//! overfits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scenic_sim::{PixelBox, RenderedImage};
+
+/// Produces `n` augmented variants of a single image.
+pub fn augment(seed_image: &RenderedImage, n: usize, seed: u64) -> Vec<RenderedImage> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| augment_once(seed_image, &mut rng)).collect()
+}
+
+fn augment_once(image: &RenderedImage, rng: &mut StdRng) -> RenderedImage {
+    let mut out = image.clone();
+    // Crop 10–20% on each side, then rescale back to full resolution.
+    let left = rng.gen_range(0.10..0.20) * image.width;
+    let right = rng.gen_range(0.10..0.20) * image.width;
+    let top = rng.gen_range(0.10..0.20) * image.height;
+    let bottom = rng.gen_range(0.10..0.20) * image.height;
+    let sx = image.width / (image.width - left - right);
+    let sy = image.height / (image.height - top - bottom);
+    let flip = rng.gen_bool(0.5);
+    let blur_sigma = rng.gen_range(0.0..3.0);
+
+    out.cars.retain_mut(|car| {
+        let mut b = PixelBox::new(
+            (car.bbox.x_min - left) * sx,
+            (car.bbox.y_min - top) * sy,
+            (car.bbox.x_max - left) * sx,
+            (car.bbox.y_max - top) * sy,
+        );
+        if flip {
+            b = PixelBox::new(
+                image.width - b.x_max,
+                b.y_min,
+                image.width - b.x_min,
+                b.y_max,
+            );
+            car.view_angle = -car.view_angle;
+        }
+        match b.clipped(image.width, image.height) {
+            Some(clipped) => {
+                // The zoom makes the car *appear* nearer by the crop
+                // scale factor.
+                car.depth /= f64::midpoint(sx, sy);
+                car.bbox = clipped;
+                true
+            }
+            None => false,
+        }
+    });
+    // Blur degrades effective imaging conditions slightly.
+    out.weather_severity = (out.weather_severity + blur_sigma / 30.0).min(1.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenic_sim::RenderedCar;
+
+    fn seed_image() -> RenderedImage {
+        RenderedImage {
+            width: 1920.0,
+            height: 1200.0,
+            cars: vec![RenderedCar {
+                bbox: PixelBox::new(800.0, 500.0, 1100.0, 700.0),
+                depth: 10.0,
+                view_angle: 0.1,
+                occlusion: 0.0,
+                truncated: false,
+                model: "DOMINATOR".into(),
+                color: [0.73, 0.64, 0.62],
+            }],
+            darkness: 0.0,
+            weather_severity: 0.0,
+            weather: "EXTRASUNNY".into(),
+            time: 720.0,
+        }
+    }
+
+    #[test]
+    fn produces_n_variants() {
+        let variants = augment(&seed_image(), 20, 1);
+        assert_eq!(variants.len(), 20);
+    }
+
+    #[test]
+    fn variants_differ_but_preserve_semantics() {
+        let variants = augment(&seed_image(), 10, 2);
+        let boxes: std::collections::HashSet<String> = variants
+            .iter()
+            .filter(|v| !v.cars.is_empty())
+            .map(|v| format!("{:?}", v.cars[0].bbox))
+            .collect();
+        assert!(boxes.len() > 5, "augmentation produced duplicates");
+        for v in &variants {
+            for car in &v.cars {
+                // Model and color are untouched: augmentation cannot
+                // diversify semantics.
+                assert_eq!(car.model, "DOMINATOR");
+                // Depth only changes by the zoom factor (≲ 2×).
+                assert!(car.depth > 5.0 && car.depth < 12.0, "depth {}", car.depth);
+            }
+        }
+    }
+
+    #[test]
+    fn flip_mirrors_view_angle() {
+        let variants = augment(&seed_image(), 40, 3);
+        let signs: std::collections::HashSet<bool> = variants
+            .iter()
+            .flat_map(|v| v.cars.iter().map(|c| c.view_angle > 0.0))
+            .collect();
+        assert_eq!(signs.len(), 2, "both flip outcomes should appear");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = augment(&seed_image(), 5, 9);
+        let b = augment(&seed_image(), 5, 9);
+        assert_eq!(a, b);
+    }
+}

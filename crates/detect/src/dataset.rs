@@ -1,0 +1,231 @@
+//! Dataset generation: scenarios → sampled scenes → rendered images.
+//!
+//! Provides the training/test sets of §6: the Scenic-generated sets
+//! (generic, overlap, specialized conditions) and the "Driving in the
+//! Matrix" baseline — screenshots from random driving, which we simulate
+//! by scattering 0–10 cars over the road in front of the ego without the
+//! structure Scenic scenarios impose (see DESIGN.md's substitution
+//! table).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scenic_core::sampler::{Sampler, SamplerConfig};
+use scenic_core::{RunResult, Scenario};
+use scenic_sim::{render_scene, RenderedImage};
+
+/// A labeled image set.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// The images.
+    pub images: Vec<RenderedImage>,
+}
+
+impl Dataset {
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Generates `n` images from a compiled scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling failures (exhausted budgets, program errors).
+    pub fn generate(scenario: &Scenario, n: usize, seed: u64) -> RunResult<Dataset> {
+        let mut sampler = Sampler::new(scenario)
+            .with_seed(seed)
+            .with_config(SamplerConfig {
+                max_iterations: 20_000,
+            });
+        let mut images = Vec::with_capacity(n);
+        for _ in 0..n {
+            let scene = sampler.sample()?;
+            images.push(render_scene(&scene));
+        }
+        Ok(Dataset { images })
+    }
+
+    /// Generates `n` images from Scenic source against a world.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and sampling failures.
+    pub fn from_source(
+        source: &str,
+        world: &scenic_core::World,
+        n: usize,
+        seed: u64,
+    ) -> RunResult<Dataset> {
+        let scenario = scenic_core::compile_with_world(source, world)?;
+        Dataset::generate(&scenario, n, seed)
+    }
+
+    /// Splits off the first `n` images as a new set.
+    pub fn take(&self, n: usize) -> Dataset {
+        Dataset {
+            images: self.images.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// A mixture replacing `replace` randomly-chosen images of `self`
+    /// with the first `replace` images of `other` — the §6.3 protocol
+    /// ("we replaced a random 5% of Xmatrix (250 images) with images
+    /// from Xoverlap, keeping the overall training set size constant").
+    pub fn mixed_with(&self, other: &Dataset, replace: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = self.images.clone();
+        let replace = replace.min(images.len()).min(other.images.len());
+        // Choose distinct victim indices.
+        let mut indices: Vec<usize> = (0..images.len()).collect();
+        for i in 0..replace {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        for (k, &victim) in indices.iter().take(replace).enumerate() {
+            images[victim] = other.images[k].clone();
+        }
+        Dataset { images }
+    }
+
+    /// Concatenates two sets.
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        let mut images = self.images.clone();
+        images.extend(other.images.iter().cloned());
+        Dataset { images }
+    }
+
+    /// Mean pairwise ground-truth IoU of the two nearest cars per image
+    /// (the Fig. 36 statistic).
+    pub fn mean_pair_iou(&self) -> f64 {
+        if self.images.is_empty() {
+            return 0.0;
+        }
+        self.images.iter().map(scenic_sim::pair_iou).sum::<f64>() / self.images.len() as f64
+    }
+}
+
+/// The "Driving in the Matrix" surrogate: a scenario with `n` cars
+/// scattered over the road visible from the ego, with none of the
+/// generic scenario's structure (no alignment wiggle bound, cars may be
+/// arbitrarily far), emulating screenshots captured while the game's AI
+/// drives around (§6.3, \[25\]).
+pub fn matrix_source(cars: usize) -> String {
+    let mut src = String::from(
+        "param time = defaultTime(), weather = defaultWeather()\n\
+         ego = EgoCar with visibleDistance 100\n",
+    );
+    for _ in 0..cars {
+        src.push_str("Car on visible road, with requireVisible False\n");
+    }
+    src
+}
+
+/// Generates a Matrix-style dataset: each image draws its own car count
+/// in `0..=max_cars`.
+///
+/// # Errors
+///
+/// Propagates compile and sampling failures.
+pub fn matrix_dataset(
+    world: &scenic_core::World,
+    n: usize,
+    max_cars: usize,
+    seed: u64,
+) -> RunResult<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Pre-compile one scenario per car count.
+    let scenarios: Vec<Scenario> = (0..=max_cars)
+        .map(|k| scenic_core::compile_with_world(&matrix_source(k), world))
+        .collect::<RunResult<_>>()?;
+    let mut images = Vec::with_capacity(n);
+    while images.len() < n {
+        let k = rng.gen_range(0..=max_cars);
+        let mut sampler = Sampler::new(&scenarios[k])
+            .with_seed(rng.gen())
+            .with_config(SamplerConfig {
+                max_iterations: 20_000,
+            });
+        let scene = sampler.sample()?;
+        let image = render_scene(&scene);
+        // Screenshots with zero visible cars carry no labels; keep them
+        // sparse like the original dataset by skipping most.
+        if image.cars.is_empty() && rng.gen::<f64>() < 0.8 {
+            continue;
+        }
+        images.push(image);
+    }
+    Ok(Dataset { images })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenic_gta::{scenarios, MapConfig, World};
+
+    fn world() -> World {
+        World::generate(MapConfig::default())
+    }
+
+    #[test]
+    fn generate_two_car_dataset() {
+        let w = world();
+        let ds = Dataset::from_source(scenarios::TWO_CARS, w.core(), 10, 1).unwrap();
+        assert_eq!(ds.len(), 10);
+        // Each scene had 2 non-ego cars; images contain at most 2.
+        assert!(ds.images.iter().all(|i| i.cars.len() <= 2));
+        // `Car visible` guarantees centers in view; most project.
+        let visible: usize = ds.images.iter().map(|i| i.cars.len()).sum();
+        assert!(visible >= 10, "visible cars {visible}");
+    }
+
+    #[test]
+    fn overlap_images_overlap_more() {
+        let w = world();
+        let generic = Dataset::from_source(scenarios::TWO_CARS, w.core(), 25, 3).unwrap();
+        let overlap = Dataset::from_source(scenarios::TWO_OVERLAPPING, w.core(), 25, 3).unwrap();
+        assert!(
+            overlap.mean_pair_iou() > generic.mean_pair_iou() + 0.02,
+            "overlap {} vs generic {}",
+            overlap.mean_pair_iou(),
+            generic.mean_pair_iou()
+        );
+    }
+
+    #[test]
+    fn matrix_dataset_varies_car_counts() {
+        let w = world();
+        let ds = matrix_dataset(w.core(), 20, 6, 5).unwrap();
+        assert_eq!(ds.len(), 20);
+        let counts: std::collections::HashSet<usize> =
+            ds.images.iter().map(|i| i.cars.len()).collect();
+        assert!(counts.len() >= 3, "car-count variety {counts:?}");
+    }
+
+    #[test]
+    fn mixture_replaces_exactly() {
+        let w = world();
+        let a = Dataset::from_source(scenarios::TWO_CARS, w.core(), 12, 7).unwrap();
+        let b = Dataset::from_source(scenarios::TWO_OVERLAPPING, w.core(), 6, 8).unwrap();
+        let mixed = a.mixed_with(&b, 6, 9);
+        assert_eq!(mixed.len(), 12);
+        let from_b = mixed
+            .images
+            .iter()
+            .filter(|img| b.images.iter().any(|o| o == *img))
+            .count();
+        assert_eq!(from_b, 6);
+    }
+
+    #[test]
+    fn take_and_concat() {
+        let w = world();
+        let a = Dataset::from_source(scenarios::ONE_CAR, w.core(), 6, 2).unwrap();
+        assert_eq!(a.take(3).len(), 3);
+        assert_eq!(a.concat(&a.take(2)).len(), 8);
+    }
+}

@@ -1,0 +1,171 @@
+//! Feature binning: the detector's view of a labeled car.
+//!
+//! The synthetic detector (see [`crate::detector`]) models a CNN's
+//! coverage-driven generalization: its competence on a car depends on
+//! how well the *training distribution* covered cars with similar
+//! geometric (depth, view angle, occlusion), contextual (lighting,
+//! weather), and appearance (model, color) features. This module defines
+//! the discretization shared by training and inference.
+
+use scenic_sim::RenderedCar;
+
+/// Depth bin edges, meters. The first bin (`< 8m`) is the "close car"
+//  regime of §6.4.
+pub const DEPTH_EDGES: [f64; 6] = [8.0, 15.0, 25.0, 40.0, 60.0, f64::INFINITY];
+
+/// |view angle| bin edges, degrees.
+pub const ANGLE_EDGES: [f64; 5] = [15.0, 45.0, 90.0, 135.0, 180.1];
+
+/// Occlusion-fraction bin edges. The upper bins are the "overlapping
+/// cars" regime of §6.3.
+pub const OCCLUSION_EDGES: [f64; 5] = [0.05, 0.2, 0.4, 0.7, 1.01];
+
+/// Darkness bin edges (0 = noon, 1 = midnight).
+pub const DARKNESS_EDGES: [f64; 4] = [0.25, 0.5, 0.75, 1.01];
+
+/// Weather-severity bin edges.
+pub const WEATHER_EDGES: [f64; 4] = [0.1, 0.3, 0.6, 1.01];
+
+fn bin(value: f64, edges: &[f64]) -> u8 {
+    edges
+        .iter()
+        .position(|&e| value < e)
+        .unwrap_or(edges.len() - 1) as u8
+}
+
+/// Geometric bin key: (depth, |angle|, occlusion).
+pub type GeoKey = (u8, u8, u8);
+/// Context bin key: (darkness, weather severity).
+pub type CtxKey = (u8, u8);
+/// Appearance bin key: (model name, color prototype index).
+pub type AppKey = (String, u8);
+
+/// Reference color prototypes for appearance binning: the 9 color
+/// families of the gtaLib distribution plus tan/beige — an off-palette
+/// family that never occurs in the default color distribution (the
+/// §6.4 seed car's color `[187, 162, 157]` falls here).
+pub const COLOR_PROTOTYPES: [[f64; 3]; 10] = [
+    [0.95, 0.95, 0.95], // white
+    [0.05, 0.05, 0.05], // black
+    [0.75, 0.75, 0.78], // silver
+    [0.50, 0.50, 0.52], // gray
+    [0.75, 0.10, 0.10], // red
+    [0.10, 0.20, 0.65], // blue
+    [0.45, 0.30, 0.15], // brown
+    [0.10, 0.45, 0.15], // green
+    [0.90, 0.80, 0.10], // yellow
+    [0.73, 0.63, 0.55], // tan/beige (off-palette)
+];
+
+/// Index of the nearest color prototype.
+pub fn color_bin(rgb: [f64; 3]) -> u8 {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, p) in COLOR_PROTOTYPES.iter().enumerate() {
+        let d = (0..3).map(|k| (rgb[k] - p[k]).powi(2)).sum::<f64>();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best as u8
+}
+
+/// The binned features of one labeled car in one image.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CarFeatures {
+    /// Geometric key.
+    pub geo: GeoKey,
+    /// Context key.
+    pub ctx: CtxKey,
+    /// Appearance key.
+    pub app: AppKey,
+}
+
+/// Extracts binned features for a car within an image context.
+pub fn extract(car: &RenderedCar, darkness: f64, weather_severity: f64) -> CarFeatures {
+    CarFeatures {
+        geo: (
+            bin(car.depth, &DEPTH_EDGES),
+            bin(car.view_angle.abs().to_degrees(), &ANGLE_EDGES),
+            bin(car.occlusion, &OCCLUSION_EDGES),
+        ),
+        ctx: (
+            bin(darkness, &DARKNESS_EDGES),
+            bin(weather_severity, &WEATHER_EDGES),
+        ),
+        app: (car.model.clone(), color_bin(car.color)),
+    }
+}
+
+/// Number of geometric bins (for density normalization).
+pub const GEO_BINS: f64 = 6.0 * 5.0 * 5.0;
+/// Number of context bins.
+pub const CTX_BINS: f64 = 4.0 * 4.0;
+/// Effective number of appearance bins (13 models × 10 colors).
+pub const APP_BINS: f64 = 13.0 * 10.0;
+
+/// Number of (depth, model, color) cells for the close-car joint
+/// familiarity (see `Detector`).
+pub const CLOSE_BINS: f64 = 6.0 * 13.0 * 10.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenic_sim::{PixelBox, RenderedCar};
+
+    fn car(depth: f64, angle_deg: f64, occlusion: f64) -> RenderedCar {
+        RenderedCar {
+            bbox: PixelBox::new(0.0, 0.0, 100.0, 80.0),
+            depth,
+            view_angle: angle_deg.to_radians(),
+            occlusion,
+            truncated: false,
+            model: "BLISTA".into(),
+            color: [0.9, 0.1, 0.1],
+        }
+    }
+
+    #[test]
+    fn depth_binning() {
+        assert_eq!(extract(&car(5.0, 0.0, 0.0), 0.0, 0.0).geo.0, 0);
+        assert_eq!(extract(&car(12.0, 0.0, 0.0), 0.0, 0.0).geo.0, 1);
+        assert_eq!(extract(&car(100.0, 0.0, 0.0), 0.0, 0.0).geo.0, 5);
+    }
+
+    #[test]
+    fn angle_binning_symmetric() {
+        let pos = extract(&car(10.0, 30.0, 0.0), 0.0, 0.0);
+        let neg = extract(&car(10.0, -30.0, 0.0), 0.0, 0.0);
+        assert_eq!(pos.geo.1, neg.geo.1);
+        assert_eq!(pos.geo.1, 1);
+    }
+
+    #[test]
+    fn occlusion_binning() {
+        assert_eq!(extract(&car(10.0, 0.0, 0.0), 0.0, 0.0).geo.2, 0);
+        assert_eq!(extract(&car(10.0, 0.0, 0.3), 0.0, 0.0).geo.2, 2);
+        assert_eq!(extract(&car(10.0, 0.0, 0.9), 0.0, 0.0).geo.2, 4);
+    }
+
+    #[test]
+    fn context_binning() {
+        let f = extract(&car(10.0, 0.0, 0.0), 0.9, 0.65);
+        assert_eq!(f.ctx, (3, 3));
+        let clear_noon = extract(&car(10.0, 0.0, 0.0), 0.0, 0.0);
+        assert_eq!(clear_noon.ctx, (0, 0));
+    }
+
+    #[test]
+    fn color_prototypes() {
+        assert_eq!(color_bin([0.94, 0.96, 0.93]), 0); // white
+        assert_eq!(color_bin([0.7, 0.05, 0.08]), 4); // red
+        assert_eq!(color_bin([0.73, 0.64, 0.62]), 9); // tan/beige
+    }
+
+    #[test]
+    fn model_in_app_key() {
+        let f = extract(&car(10.0, 0.0, 0.0), 0.0, 0.0);
+        assert_eq!(f.app.0, "BLISTA");
+    }
+}

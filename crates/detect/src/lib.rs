@@ -1,0 +1,37 @@
+//! # scenic-detect
+//!
+//! The perception system under study: a synthetic car detector standing
+//! in for squeezeDet (§6.1), its training datasets, and the
+//! augmentation baseline of §6.4.
+//!
+//! The detector ([`Detector`]) is a *coverage-driven surrogate*: its
+//! per-car competence is a smoothed density of similar training examples
+//! over geometric / contextual / appearance feature bins, and its
+//! failure modes (misses, bad boxes, split boxes, spurious boxes) are
+//! all monotone in unfamiliarity. This reproduces the mechanism every
+//! §6 experiment measures — see DESIGN.md for the substitution argument.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use scenic_detect::{Dataset, Detector};
+//! use scenic_gta::{scenarios, MapConfig, World};
+//!
+//! let world = World::generate(MapConfig::default());
+//! let train = Dataset::from_source(scenarios::TWO_CARS, world.core(), 200, 1)?;
+//! let test = Dataset::from_source(scenarios::TWO_CARS, world.core(), 50, 2)?;
+//! let model = Detector::train(&train.images);
+//! let metrics = model.evaluate(&test.images, 3);
+//! println!("precision {:.1}% recall {:.1}%", metrics.precision, metrics.recall);
+//! # Ok::<(), scenic_core::ScenicError>(())
+//! ```
+
+pub mod augment;
+pub mod dataset;
+pub mod detector;
+pub mod features;
+
+pub use augment::augment;
+pub use dataset::{matrix_dataset, matrix_source, Dataset};
+pub use detector::{Detector, DetectorConfig};
+pub use features::{color_bin, extract, CarFeatures};

@@ -1,0 +1,281 @@
+//! Convex clipping and Minkowski dilation.
+//!
+//! The pruning techniques of §5.2 need two polygon operations:
+//! `dilate(Q, M)` (Minkowski sum with a disc of radius `M`) and
+//! intersection `P ∩ dilate(Q, M)`. Road-map cells are convex, so we
+//! implement Sutherland–Hodgman clipping against convex clip polygons and
+//! exact convex dilation (arcs approximated by regular polygon fans).
+
+use crate::{Polygon, Vec2};
+
+/// Number of segments used to approximate each arc when dilating.
+const ARC_SEGMENTS: usize = 8;
+
+/// Clips `subject` (any simple polygon) against a **convex** `clip`
+/// polygon using Sutherland–Hodgman. Returns `None` when the intersection
+/// is empty or degenerate.
+pub fn clip_polygon(subject: &Polygon, clip: &Polygon) -> Option<Polygon> {
+    debug_assert!(clip.is_convex(), "clip polygon must be convex");
+    let mut output: Vec<Vec2> = subject.vertices().to_vec();
+    for (a, b) in clip.edges() {
+        if output.len() < 3 {
+            return None;
+        }
+        let input = std::mem::take(&mut output);
+        let n = input.len();
+        for i in 0..n {
+            let cur = input[i];
+            let prev = input[(i + n - 1) % n];
+            let cur_in = inside(cur, a, b);
+            let prev_in = inside(prev, a, b);
+            if cur_in {
+                if !prev_in {
+                    if let Some(x) = line_intersect(prev, cur, a, b) {
+                        output.push(x);
+                    }
+                }
+                output.push(cur);
+            } else if prev_in {
+                if let Some(x) = line_intersect(prev, cur, a, b) {
+                    output.push(x);
+                }
+            }
+        }
+    }
+    if output.len() < 3 {
+        return None;
+    }
+    let poly = Polygon::new(output);
+    if poly.area() < crate::EPSILON {
+        None
+    } else {
+        Some(poly)
+    }
+}
+
+/// Whether `p` is on the inside (left) of the directed edge `a -> b` of
+/// an anticlockwise convex polygon.
+fn inside(p: Vec2, a: Vec2, b: Vec2) -> bool {
+    (b - a).cross(p - a) >= -crate::EPSILON
+}
+
+/// Intersection of the (infinite) line through `a`-`b` with segment
+/// `p`-`q`.
+fn line_intersect(p: Vec2, q: Vec2, a: Vec2, b: Vec2) -> Option<Vec2> {
+    let r = q - p;
+    let s = b - a;
+    let denom = r.cross(s);
+    if denom.abs() < crate::EPSILON {
+        return None;
+    }
+    let t = (a - p).cross(s) / denom;
+    Some(p + r * t)
+}
+
+/// Minkowski dilation of a **convex** polygon by a disc of radius
+/// `radius`: the set of points within `radius` of the polygon.
+///
+/// Arcs at the vertices are approximated from the outside is not needed —
+/// we approximate from the inside with `ARC_SEGMENTS` chords per corner,
+/// which keeps the result a subset of the true dilation plus an
+/// O(radius·θ²) sliver; pruning soundness (§5.2) requires the dilation to
+/// be a *superset*, so we scale the chord radius up by `1/cos(θ/2)` to
+/// circumscribe the arc.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative.
+pub fn dilate_convex(polygon: &Polygon, radius: f64) -> Polygon {
+    assert!(radius >= 0.0, "dilation radius must be non-negative");
+    if radius < crate::EPSILON {
+        return polygon.clone();
+    }
+    let verts = polygon.vertices();
+    let n = verts.len();
+    let mut out: Vec<Vec2> = Vec::with_capacity(n * (ARC_SEGMENTS + 2));
+    for i in 0..n {
+        let prev = verts[(i + n - 1) % n];
+        let cur = verts[i];
+        let next = verts[(i + 1) % n];
+        // Outward normals of the incoming and outgoing edges. For an
+        // anticlockwise ring the outward normal of edge a->b is
+        // (b - a) rotated -90°.
+        let n_in = (cur - prev)
+            .normalized()
+            .rotated(-std::f64::consts::FRAC_PI_2);
+        let n_out = (next - cur)
+            .normalized()
+            .rotated(-std::f64::consts::FRAC_PI_2);
+        let start = f64::atan2(n_in.y, n_in.x);
+        let mut sweep = f64::atan2(n_out.y, n_out.x) - start;
+        while sweep < 0.0 {
+            sweep += std::f64::consts::TAU;
+        }
+        if sweep >= std::f64::consts::TAU - 1e-6 {
+            sweep = 0.0;
+        }
+        let steps = ARC_SEGMENTS.max(1);
+        // Circumscribe each chord so the approximation contains the arc.
+        let step = sweep / steps as f64;
+        let chord_radius = if step > 1e-9 {
+            radius / (step / 2.0).cos()
+        } else {
+            radius
+        };
+        for k in 0..=steps {
+            let theta = start + step * k as f64;
+            let r = if k == 0 || k == steps {
+                radius
+            } else {
+                chord_radius
+            };
+            out.push(cur + Vec2::new(theta.cos(), theta.sin()) * r);
+        }
+    }
+    Polygon::new(out)
+}
+
+/// `P ∩ dilate(Q, M)` for convex `P`, `Q`: the restriction primitive used
+/// by Algorithms 2 and 3.
+pub fn restrict_to_dilation(p: &Polygon, q: &Polygon, radius: f64) -> Option<Polygon> {
+    let dilated = dilate_convex(q, radius);
+    // dilate_convex output is convex (dilation of a convex set), so it is
+    // a valid Sutherland–Hodgman clip polygon.
+    clip_polygon(p, &dilated)
+}
+
+/// Whether any point of `polygon` is within `radius` of `other`
+/// (i.e. `polygon ∩ dilate(other, radius) ≠ ∅`), computed without
+/// constructing the dilation.
+pub fn within_distance(polygon: &Polygon, other: &Polygon, radius: f64) -> bool {
+    if polygon.intersects(other) {
+        return true;
+    }
+    polygon_distance(polygon, other) <= radius
+}
+
+/// Minimum distance between two polygon boundaries (zero if they
+/// intersect).
+pub fn polygon_distance(a: &Polygon, b: &Polygon) -> f64 {
+    if a.intersects(b) {
+        return 0.0;
+    }
+    let mut best = f64::INFINITY;
+    for (p, q) in a.edges() {
+        for (r, s) in b.edges() {
+            best = best.min(segment_distance(p, q, r, s));
+        }
+    }
+    best
+}
+
+fn segment_distance(a1: Vec2, a2: Vec2, b1: Vec2, b2: Vec2) -> f64 {
+    if crate::vec2::segment_intersection(a1, a2, b1, b2).is_some() {
+        return 0.0;
+    }
+    let d1 = crate::vec2::point_segment_distance(a1, b1, b2);
+    let d2 = crate::vec2::point_segment_distance(a2, b1, b2);
+    let d3 = crate::vec2::point_segment_distance(b1, a1, a2);
+    let d4 = crate::vec2::point_segment_distance(b2, a1, a2);
+    d1.min(d2).min(d3).min(d4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_overlapping_squares() {
+        let a = Polygon::rectangle(Vec2::new(0.0, 0.0), 2.0, 2.0);
+        let b = Polygon::rectangle(Vec2::new(1.0, 1.0), 2.0, 2.0);
+        let clipped = clip_polygon(&a, &b).unwrap();
+        assert!((clipped.area() - 1.0).abs() < 1e-9);
+        assert!(clipped.contains(Vec2::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn clip_disjoint_is_none() {
+        let a = Polygon::rectangle(Vec2::new(0.0, 0.0), 2.0, 2.0);
+        let b = Polygon::rectangle(Vec2::new(10.0, 0.0), 2.0, 2.0);
+        assert!(clip_polygon(&a, &b).is_none());
+    }
+
+    #[test]
+    fn clip_contained_returns_subject() {
+        let a = Polygon::rectangle(Vec2::ZERO, 1.0, 1.0);
+        let b = Polygon::rectangle(Vec2::ZERO, 10.0, 10.0);
+        let clipped = clip_polygon(&a, &b).unwrap();
+        assert!((clipped.area() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_concave_subject() {
+        let l = Polygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(1.0, 2.0),
+            Vec2::new(0.0, 2.0),
+        ]);
+        let clip = Polygon::rectangle(Vec2::new(1.0, 1.0), 2.0, 2.0);
+        let clipped = clip_polygon(&l, &clip).unwrap();
+        // Intersection of the L (area 3) with the square [0,2]² is the L
+        // itself (area 3).
+        assert!((clipped.area() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dilation_is_superset() {
+        let sq = Polygon::rectangle(Vec2::ZERO, 2.0, 2.0);
+        let d = dilate_convex(&sq, 1.0);
+        // Every point within distance 1 of the square must be inside.
+        assert!(d.contains(Vec2::new(1.9, 0.0)));
+        assert!(d.contains(Vec2::new(0.0, -1.95)));
+        // Corner arc point at distance ~0.999 along the diagonal.
+        let diag = Vec2::new(1.0, 1.0) + Vec2::new(0.7, 0.7);
+        assert!(d.contains(diag));
+        // Far points stay outside.
+        assert!(!d.contains(Vec2::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn dilation_area_close_to_exact() {
+        let sq = Polygon::rectangle(Vec2::ZERO, 2.0, 2.0);
+        let d = dilate_convex(&sq, 1.0);
+        // Exact area = 4 + perimeter*r + pi*r^2 = 4 + 8 + pi.
+        let exact = 12.0 + std::f64::consts::PI;
+        assert!((d.area() - exact).abs() < 0.1, "area {}", d.area());
+        assert!(d.area() >= exact - 1e-9, "must circumscribe");
+    }
+
+    #[test]
+    fn dilation_zero_radius_identity() {
+        let sq = Polygon::rectangle(Vec2::ZERO, 2.0, 2.0);
+        assert_eq!(dilate_convex(&sq, 0.0), sq);
+    }
+
+    #[test]
+    fn restrict_to_dilation_keeps_near_part() {
+        let p = Polygon::rectangle(Vec2::new(0.0, 0.0), 10.0, 2.0);
+        let q = Polygon::rectangle(Vec2::new(8.0, 0.0), 2.0, 2.0);
+        let restricted = restrict_to_dilation(&p, &q, 3.0).unwrap();
+        // Only the part of p within 3m of q survives: x in [4, 5].
+        assert!(!restricted.contains(Vec2::new(3.5, 0.0)));
+        assert!(restricted.contains(Vec2::new(4.5, 0.0)));
+        assert!(restricted.area() < p.area());
+        // A 2m reach leaves only the boundary sliver x = 5: empty.
+        assert!(restrict_to_dilation(&p, &q, 1.9).is_none());
+    }
+
+    #[test]
+    fn polygon_distance_cases() {
+        let a = Polygon::rectangle(Vec2::new(0.0, 0.0), 2.0, 2.0);
+        let b = Polygon::rectangle(Vec2::new(5.0, 0.0), 2.0, 2.0);
+        assert!((polygon_distance(&a, &b) - 3.0).abs() < 1e-9);
+        let c = Polygon::rectangle(Vec2::new(1.0, 0.0), 2.0, 2.0);
+        assert_eq!(polygon_distance(&a, &c), 0.0);
+        assert!(within_distance(&a, &b, 3.5));
+        assert!(!within_distance(&a, &b, 2.5));
+    }
+}

@@ -1,0 +1,179 @@
+//! Vector fields: orientations associated to each point in space.
+//!
+//! §4.1: "Vector Fields associating an orientation to each point in
+//! space. For example, the shortest paths to a destination or (in our
+//! case study) the nominal traffic direction." The pruning algorithms of
+//! §5.2 exploit fields that are *constant within polygonal cells*; the
+//! [`VectorField::Polygonal`] variant exposes that structure.
+
+use crate::{Heading, Polygon, Vec2};
+use std::sync::Arc;
+
+/// A polygonal cell with a constant field value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldCell {
+    /// The cell's extent.
+    pub polygon: Polygon,
+    /// The field's (constant) heading inside the cell.
+    pub heading: Heading,
+}
+
+/// A vector field assigning a heading to each point.
+#[derive(Debug, Clone)]
+pub enum VectorField {
+    /// The same heading everywhere.
+    Constant(Heading),
+    /// Constant within polygonal cells, `default` elsewhere. This is the
+    /// structure road maps have and the §5.2 pruning exploits.
+    Polygonal {
+        /// The cells (disjoint by construction in the map generators).
+        cells: Arc<Vec<FieldCell>>,
+        /// Heading outside every cell.
+        default: Heading,
+    },
+    /// Points towards `target` from every point (e.g. "shortest path to a
+    /// destination").
+    Radial {
+        /// The point every heading aims at.
+        target: Vec2,
+    },
+}
+
+impl VectorField {
+    /// Creates a polygonal-cell field.
+    pub fn polygonal(cells: Vec<FieldCell>, default: Heading) -> Self {
+        VectorField::Polygonal {
+            cells: Arc::new(cells),
+            default,
+        }
+    }
+
+    /// The field's heading at `p` — the `F at X` operator.
+    pub fn at(&self, p: Vec2) -> Heading {
+        match self {
+            VectorField::Constant(h) => *h,
+            VectorField::Polygonal { cells, default } => cells
+                .iter()
+                .find(|c| c.polygon.contains(p))
+                .map(|c| c.heading)
+                .unwrap_or(*default),
+            VectorField::Radial { target } => {
+                let d = *target - p;
+                if d.norm() < crate::EPSILON {
+                    Heading::NORTH
+                } else {
+                    Heading::of_vector(d)
+                }
+            }
+        }
+    }
+
+    /// The polygonal cells, if this field has them (used by the pruning
+    /// algorithms, which only apply to polygonal fields).
+    pub fn cells(&self) -> Option<&[FieldCell]> {
+        match self {
+            VectorField::Polygonal { cells, .. } => Some(cells),
+            _ => None,
+        }
+    }
+
+    /// Follows the field from `start` for distance `d` using an `n`-step
+    /// forward-Euler approximation, returning the end point.
+    ///
+    /// This is the paper's `forwardEuler(x, d, F)` (Appendix C.1, the
+    /// implementation used N = 4).
+    pub fn follow(&self, start: Vec2, distance: f64, steps: usize) -> Vec2 {
+        let steps = steps.max(1);
+        let step = distance / steps as f64;
+        let mut x = start;
+        for _ in 0..steps {
+            x = x + Vec2::new(0.0, step).rotated(self.at(x).radians());
+        }
+        x
+    }
+}
+
+/// The paper's default Euler step count.
+pub const DEFAULT_EULER_STEPS: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_field() {
+        let f = VectorField::Constant(Heading::from_degrees(30.0));
+        assert_eq!(f.at(Vec2::new(100.0, -5.0)), Heading::from_degrees(30.0));
+    }
+
+    #[test]
+    fn polygonal_field_lookup() {
+        let cells = vec![
+            FieldCell {
+                polygon: Polygon::rectangle(Vec2::new(0.0, 0.0), 10.0, 10.0),
+                heading: Heading::from_degrees(90.0),
+            },
+            FieldCell {
+                polygon: Polygon::rectangle(Vec2::new(20.0, 0.0), 10.0, 10.0),
+                heading: Heading::from_degrees(-90.0),
+            },
+        ];
+        let f = VectorField::polygonal(cells, Heading::NORTH);
+        assert!(f
+            .at(Vec2::new(1.0, 1.0))
+            .approx_eq(Heading::from_degrees(90.0), 1e-9));
+        assert!(f
+            .at(Vec2::new(21.0, 1.0))
+            .approx_eq(Heading::from_degrees(-90.0), 1e-9));
+        assert!(f
+            .at(Vec2::new(100.0, 100.0))
+            .approx_eq(Heading::NORTH, 1e-9));
+    }
+
+    #[test]
+    fn radial_field_points_at_target() {
+        let f = VectorField::Radial {
+            target: Vec2::new(0.0, 0.0),
+        };
+        // From the south, the field points North.
+        assert!(f.at(Vec2::new(0.0, -5.0)).approx_eq(Heading::NORTH, 1e-9));
+        // From the east, it points West (90° ccw from North).
+        assert!(f
+            .at(Vec2::new(5.0, 0.0))
+            .approx_eq(Heading::from_degrees(90.0), 1e-9));
+    }
+
+    #[test]
+    fn follow_straight_field() {
+        let f = VectorField::Constant(Heading::NORTH);
+        let end = f.follow(Vec2::ZERO, 10.0, DEFAULT_EULER_STEPS);
+        assert!(end.approx_eq(Vec2::new(0.0, 10.0), 1e-9));
+    }
+
+    #[test]
+    fn follow_crossing_cells_bends() {
+        // First cell points North, second (above y=10) points West.
+        let cells = vec![
+            FieldCell {
+                polygon: Polygon::rectangle(Vec2::new(0.0, 5.0), 40.0, 10.0),
+                heading: Heading::NORTH,
+            },
+            FieldCell {
+                polygon: Polygon::rectangle(Vec2::new(0.0, 15.0), 40.0, 10.0),
+                heading: Heading::from_degrees(90.0),
+            },
+        ];
+        let f = VectorField::polygonal(cells, Heading::NORTH);
+        let end = f.follow(Vec2::new(0.0, 1.0), 16.0, 8);
+        // After ~9m north it enters the west-flowing cell and bends left.
+        assert!(end.x < -4.0, "end {end}");
+        assert!(end.y > 9.0 && end.y < 13.0, "end {end}");
+    }
+
+    #[test]
+    fn follow_negative_distance_goes_backwards() {
+        let f = VectorField::Constant(Heading::NORTH);
+        let end = f.follow(Vec2::ZERO, -5.0, 4);
+        assert!(end.approx_eq(Vec2::new(0.0, -5.0), 1e-9));
+    }
+}

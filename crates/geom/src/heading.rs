@@ -1,0 +1,179 @@
+//! Headings: orientations in the plane.
+//!
+//! Per §4.1 of the paper, a heading in 2D is a single angle in radians,
+//! anticlockwise from North. By convention the heading of a local
+//! coordinate system is the heading of its y-axis.
+
+use crate::Vec2;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// An orientation in the plane: radians anticlockwise from North.
+///
+/// `Heading` is a thin newtype over `f64` that keeps angle arithmetic
+/// honest (normalization, direction vectors, relative headings). Scenic
+/// programs treat headings as scalars; conversion both ways is free.
+///
+/// # Example
+///
+/// ```
+/// use scenic_geom::Heading;
+/// let west = Heading::from_degrees(90.0);
+/// assert!((west.direction().x - (-1.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Heading(pub f64);
+
+impl Heading {
+    /// North: the zero heading.
+    pub const NORTH: Heading = Heading(0.0);
+
+    /// Creates a heading from radians anticlockwise from North.
+    pub const fn from_radians(radians: f64) -> Self {
+        Heading(radians)
+    }
+
+    /// Creates a heading from degrees anticlockwise from North.
+    pub fn from_degrees(degrees: f64) -> Self {
+        Heading(degrees.to_radians())
+    }
+
+    /// The raw angle in radians.
+    pub const fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// The angle in degrees.
+    pub fn degrees(self) -> f64 {
+        self.0.to_degrees()
+    }
+
+    /// The unit direction vector this heading points along.
+    ///
+    /// North is `(0, 1)`; rotating anticlockwise, 90° is West `(-1, 0)`.
+    pub fn direction(self) -> Vec2 {
+        Vec2::new(-self.0.sin(), self.0.cos())
+    }
+
+    /// The heading of a (nonzero) vector: the paper's `arctan(V)` helper.
+    ///
+    /// Satisfies `Heading::of_vector(h.direction()) ≈ h` (normalized).
+    pub fn of_vector(v: Vec2) -> Heading {
+        Heading(f64::atan2(-v.x, v.y))
+    }
+
+    /// Normalizes into the interval `(-π, π]`.
+    pub fn normalized(self) -> Heading {
+        let mut a = self.0.rem_euclid(std::f64::consts::TAU);
+        if a > std::f64::consts::PI {
+            a -= std::f64::consts::TAU;
+        }
+        Heading(a)
+    }
+
+    /// Smallest-magnitude angle from `self` to `other` (in `(-π, π]`).
+    pub fn angle_to(self, other: Heading) -> f64 {
+        (other - self).normalized().0
+    }
+
+    /// Absolute angular difference in `[0, π]`.
+    pub fn abs_difference(self, other: Heading) -> f64 {
+        self.angle_to(other).abs()
+    }
+
+    /// Whether two headings are within `tol` radians of each other
+    /// (modulo 2π).
+    pub fn approx_eq(self, other: Heading, tol: f64) -> bool {
+        self.abs_difference(other) <= tol
+    }
+}
+
+impl fmt::Display for Heading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} rad", self.0)
+    }
+}
+
+impl From<f64> for Heading {
+    fn from(radians: f64) -> Self {
+        Heading(radians)
+    }
+}
+
+impl From<Heading> for f64 {
+    fn from(h: Heading) -> f64 {
+        h.0
+    }
+}
+
+impl Add for Heading {
+    type Output = Heading;
+    fn add(self, rhs: Heading) -> Heading {
+        Heading(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Heading {
+    type Output = Heading;
+    fn sub(self, rhs: Heading) -> Heading {
+        Heading(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Heading {
+    type Output = Heading;
+    fn neg(self) -> Heading {
+        Heading(-self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+    #[test]
+    fn cardinal_directions() {
+        assert!(Heading::NORTH
+            .direction()
+            .approx_eq(Vec2::new(0.0, 1.0), 1e-12));
+        let west = Heading::from_radians(FRAC_PI_2);
+        assert!(west.direction().approx_eq(Vec2::new(-1.0, 0.0), 1e-12));
+        let south = Heading::from_radians(PI);
+        assert!(south.direction().approx_eq(Vec2::new(0.0, -1.0), 1e-12));
+        let east = Heading::from_radians(-FRAC_PI_2);
+        assert!(east.direction().approx_eq(Vec2::new(1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn of_vector_inverts_direction() {
+        for i in 0..32 {
+            let h = Heading::from_radians(i as f64 * TAU / 32.0);
+            let recovered = Heading::of_vector(h.direction());
+            assert!(recovered.approx_eq(h, 1e-9), "failed at {h}");
+        }
+    }
+
+    #[test]
+    fn normalization_range() {
+        assert!((Heading(3.0 * PI).normalized().0 - PI).abs() < 1e-12);
+        assert!((Heading(-3.0 * PI).normalized().0 - PI).abs() < 1e-12);
+        assert!((Heading(TAU + 0.25).normalized().0 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_to_shortest_path() {
+        let a = Heading::from_degrees(170.0);
+        let b = Heading::from_degrees(-170.0);
+        // Going from 170° to -170° the short way is +20°.
+        assert!((a.angle_to(b).to_degrees() - 20.0).abs() < 1e-9);
+        assert!((b.angle_to(a).to_degrees() + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrees_round_trip() {
+        let h = Heading::from_degrees(37.5);
+        assert!((h.degrees() - 37.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,415 @@
+//! Regions: sets of points in space (§4.1).
+//!
+//! Regions can have an associated vector field giving points preferred
+//! orientations (used by the `on region` specifier to optionally specify
+//! `heading`). Regions support containment tests, uniform sampling, and
+//! the intersection/difference combinators needed by `visible region` and
+//! the pruning pre-passes.
+
+use crate::triangulate::PolygonSampler;
+use crate::{Aabb, Heading, Polygon, Sector, Vec2, VectorField};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Maximum rejection attempts when sampling composite regions.
+const COMPOSITE_SAMPLE_TRIES: usize = 200;
+
+/// A set of polygons with an optional preferred-orientation field and an
+/// optional erosion margin.
+///
+/// The erosion margin implements the §5.2 containment-pruning restriction
+/// `R ∩ erode(C, minRadius)`: points closer than `margin` to the *outer*
+/// boundary of the union are excluded. Edges shared exactly between two
+/// polygons (as in road maps, where adjacent cells abut) are interior and
+/// do not contribute to the boundary.
+#[derive(Debug, Clone)]
+pub struct PolygonRegion {
+    polygons: Arc<Vec<Polygon>>,
+    orientation: Option<VectorField>,
+    sampler: Arc<PolygonSampler>,
+    margin: f64,
+    /// Outer-boundary edges (excludes edges shared between two cells).
+    boundary_edges: Arc<Vec<(Vec2, Vec2)>>,
+}
+
+impl PolygonRegion {
+    /// Builds a region from polygons, with an optional orientation field.
+    pub fn new(polygons: Vec<Polygon>, orientation: Option<VectorField>) -> Self {
+        let sampler = Arc::new(PolygonSampler::new(polygons.iter()));
+        let boundary_edges = Arc::new(outer_boundary_edges(&polygons));
+        PolygonRegion {
+            polygons: Arc::new(polygons),
+            orientation,
+            sampler,
+            margin: 0.0,
+            boundary_edges,
+        }
+    }
+
+    /// The constituent polygons.
+    pub fn polygons(&self) -> &[Polygon] {
+        &self.polygons
+    }
+
+    /// The orientation field, if any.
+    pub fn orientation(&self) -> Option<&VectorField> {
+        self.orientation.as_ref()
+    }
+
+    /// Total polygon area (overlaps counted with multiplicity).
+    pub fn area(&self) -> f64 {
+        self.sampler.total_area()
+    }
+
+    /// Returns a copy eroded by `margin` meters from the outer boundary.
+    pub fn eroded(&self, margin: f64) -> Self {
+        let mut r = self.clone();
+        r.margin = (r.margin + margin).max(0.0);
+        r
+    }
+
+    /// Distance from `p` to the outer boundary of the union.
+    pub fn distance_to_outer_boundary(&self, p: Vec2) -> f64 {
+        self.boundary_edges
+            .iter()
+            .map(|&(a, b)| crate::vec2::point_segment_distance(p, a, b))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn contains_raw(&self, p: Vec2) -> bool {
+        self.polygons.iter().any(|poly| poly.contains(p))
+    }
+
+    /// Containment, honoring the erosion margin.
+    pub fn contains(&self, p: Vec2) -> bool {
+        if !self.contains_raw(p) {
+            return false;
+        }
+        self.margin <= crate::EPSILON || self.distance_to_outer_boundary(p) >= self.margin
+    }
+
+    /// Uniform sample (rejection against the margin when eroded).
+    pub fn sample(&self, rng: &mut impl Rng) -> Option<Vec2> {
+        if self.margin <= crate::EPSILON {
+            return self.sampler.sample(rng);
+        }
+        for _ in 0..COMPOSITE_SAMPLE_TRIES {
+            let p = self.sampler.sample(rng)?;
+            if self.distance_to_outer_boundary(p) >= self.margin {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+/// Finds edges on the outer boundary: edges not shared (in reverse) by
+/// another polygon in the set.
+fn outer_boundary_edges(polygons: &[Polygon]) -> Vec<(Vec2, Vec2)> {
+    let mut all: Vec<(Vec2, Vec2)> = Vec::new();
+    for poly in polygons {
+        all.extend(poly.edges());
+    }
+    let shared = |a: Vec2, b: Vec2| {
+        all.iter()
+            .filter(|&&(c, d)| {
+                (c.approx_eq(b, 1e-6) && d.approx_eq(a, 1e-6))
+                    || (c.approx_eq(a, 1e-6) && d.approx_eq(b, 1e-6))
+            })
+            .count()
+            > 1
+    };
+    all.iter()
+        .copied()
+        .filter(|&(a, b)| !shared(a, b))
+        .collect()
+}
+
+/// A set of points in space.
+///
+/// # Example
+///
+/// ```
+/// use scenic_geom::{Region, Polygon, Vec2};
+/// use rand::SeedableRng;
+///
+/// let road = Region::from(Polygon::rectangle(Vec2::ZERO, 8.0, 100.0));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let p = road.sample(&mut rng).unwrap();
+/// assert!(road.contains(p));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub enum Region {
+    /// The empty region.
+    #[default]
+    Empty,
+    /// All of space (cannot be sampled).
+    Everywhere,
+    /// A disc or circular sector.
+    Sector(Sector),
+    /// A union of polygons with optional orientation.
+    Polygons(PolygonRegion),
+    /// Intersection of two regions. Sampling draws from the left operand
+    /// and rejects against the right.
+    Intersection(Box<Region>, Box<Region>),
+    /// Points of the left region not in the right. Sampling draws from
+    /// the left operand and rejects against the right.
+    Difference(Box<Region>, Box<Region>),
+}
+
+impl Region {
+    /// A rectangle region.
+    pub fn rectangle(center: Vec2, width: f64, height: f64) -> Self {
+        Region::from(Polygon::rectangle(center, width, height))
+    }
+
+    /// A disc region.
+    pub fn disc(center: Vec2, radius: f64) -> Self {
+        Region::Sector(Sector::disc(center, radius))
+    }
+
+    /// Polygon-set region with a preferred orientation field.
+    pub fn polygons_with_orientation(polygons: Vec<Polygon>, field: VectorField) -> Self {
+        Region::Polygons(PolygonRegion::new(polygons, Some(field)))
+    }
+
+    /// Whether the point lies in the region.
+    pub fn contains(&self, p: Vec2) -> bool {
+        match self {
+            Region::Empty => false,
+            Region::Everywhere => true,
+            Region::Sector(s) => s.contains(p),
+            Region::Polygons(pr) => pr.contains(p),
+            Region::Intersection(a, b) => a.contains(p) && b.contains(p),
+            Region::Difference(a, b) => a.contains(p) && !b.contains(p),
+        }
+    }
+
+    /// The preferred orientation at `p`, if the region has one (§4.1:
+    /// "These can have an associated vector field giving points in the
+    /// region preferred orientations").
+    pub fn orientation_at(&self, p: Vec2) -> Option<Heading> {
+        match self {
+            Region::Polygons(pr) => pr.orientation().map(|f| f.at(p)),
+            Region::Intersection(a, b) | Region::Difference(a, b) => {
+                a.orientation_at(p).or_else(|| b.orientation_at(p))
+            }
+            _ => None,
+        }
+    }
+
+    /// Uniformly samples a point, or `None` if the region is empty,
+    /// unbounded, or rejection fails after a bounded number of tries.
+    pub fn sample(&self, rng: &mut impl Rng) -> Option<Vec2> {
+        match self {
+            Region::Empty | Region::Everywhere => None,
+            Region::Sector(s) => Some(s.sample(rng)),
+            Region::Polygons(pr) => pr.sample(rng),
+            Region::Intersection(a, b) => {
+                for _ in 0..COMPOSITE_SAMPLE_TRIES {
+                    let p = a.sample(rng)?;
+                    if b.contains(p) {
+                        return Some(p);
+                    }
+                }
+                None
+            }
+            Region::Difference(a, b) => {
+                for _ in 0..COMPOSITE_SAMPLE_TRIES {
+                    let p = a.sample(rng)?;
+                    if !b.contains(p) {
+                        return Some(p);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Bounding box, if the region is bounded.
+    pub fn aabb(&self) -> Option<Aabb> {
+        match self {
+            Region::Empty => None,
+            Region::Everywhere => None,
+            Region::Sector(s) => Some(Aabb::new(
+                s.center - Vec2::new(s.radius, s.radius),
+                s.center + Vec2::new(s.radius, s.radius),
+            )),
+            Region::Polygons(pr) => {
+                let mut it = pr.polygons().iter();
+                let first = it.next()?.aabb();
+                Some(it.fold(first, |bb, p| bb.union(&p.aabb())))
+            }
+            Region::Intersection(a, b) => a.aabb().or_else(|| b.aabb()),
+            Region::Difference(a, _) => a.aabb(),
+        }
+    }
+
+    /// The part of the region visible from a view sector — the paper's
+    /// `visible region` / `region visible from X` operators.
+    pub fn visible_from(&self, view: Sector) -> Region {
+        Region::Intersection(Box::new(self.clone()), Box::new(Region::Sector(view)))
+    }
+
+    /// Intersection combinator.
+    pub fn intersection(self, other: Region) -> Region {
+        Region::Intersection(Box::new(self), Box::new(other))
+    }
+
+    /// Difference combinator.
+    pub fn difference(self, other: Region) -> Region {
+        Region::Difference(Box::new(self), Box::new(other))
+    }
+
+    /// The polygon set, if this is (or wraps) a polygonal region.
+    pub fn as_polygons(&self) -> Option<&PolygonRegion> {
+        match self {
+            Region::Polygons(pr) => Some(pr),
+            Region::Intersection(a, _) | Region::Difference(a, _) => a.as_polygons(),
+            _ => None,
+        }
+    }
+
+    /// Containment-pruned copy (§5.2 "Pruning Based on Containment"):
+    /// restricts a polygonal region by eroding `min_radius` from its
+    /// outer boundary. Falls back to `self` unchanged for non-polygonal
+    /// regions.
+    pub fn eroded(&self, min_radius: f64) -> Region {
+        match self {
+            Region::Polygons(pr) => Region::Polygons(pr.eroded(min_radius)),
+            Region::Intersection(a, b) => Region::Intersection(
+                Box::new(a.eroded(min_radius)),
+                Box::new(b.clone().as_ref().clone()),
+            ),
+            other => other.clone(),
+        }
+    }
+}
+
+impl From<Polygon> for Region {
+    fn from(p: Polygon) -> Self {
+        Region::Polygons(PolygonRegion::new(vec![p], None))
+    }
+}
+
+impl From<Sector> for Region {
+    fn from(s: Sector) -> Self {
+        Region::Sector(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_and_everywhere() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(!Region::Empty.contains(Vec2::ZERO));
+        assert!(Region::Everywhere.contains(Vec2::new(1e9, -1e9)));
+        assert!(Region::Empty.sample(&mut rng).is_none());
+        assert!(Region::Everywhere.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn polygon_region_sampling() {
+        let r = Region::rectangle(Vec2::ZERO, 10.0, 4.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let p = r.sample(&mut rng).unwrap();
+            assert!(r.contains(p));
+            assert!(p.x.abs() <= 5.0 && p.y.abs() <= 2.0);
+        }
+    }
+
+    #[test]
+    fn intersection_sampling() {
+        let a = Region::rectangle(Vec2::ZERO, 10.0, 10.0);
+        let b = Region::disc(Vec2::new(5.0, 0.0), 3.0);
+        let both = a.intersection(b);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let p = both.sample(&mut rng).unwrap();
+            assert!(p.x <= 5.0 && p.distance_to(Vec2::new(5.0, 0.0)) <= 3.0);
+        }
+    }
+
+    #[test]
+    fn difference_region() {
+        let a = Region::rectangle(Vec2::ZERO, 10.0, 10.0);
+        let hole = Region::disc(Vec2::ZERO, 2.0);
+        let donut = a.difference(hole);
+        assert!(!donut.contains(Vec2::ZERO));
+        assert!(donut.contains(Vec2::new(4.0, 4.0)));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let p = donut.sample(&mut rng).unwrap();
+            assert!(p.norm() >= 2.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn erosion_excludes_margin() {
+        let r = Region::rectangle(Vec2::ZERO, 10.0, 10.0);
+        let eroded = r.eroded(2.0);
+        assert!(eroded.contains(Vec2::ZERO));
+        assert!(!eroded.contains(Vec2::new(4.5, 0.0)));
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..200 {
+            let p = eroded.sample(&mut rng).unwrap();
+            assert!(p.x.abs() <= 3.0 + 1e-9 && p.y.abs() <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn shared_edges_are_interior() {
+        // Two abutting cells: the shared edge at x = 0 must not count as
+        // boundary, so a point at (0, 0) is 5m from the outer boundary.
+        let left = Polygon::rectangle(Vec2::new(-5.0, 0.0), 10.0, 10.0);
+        let right = Polygon::rectangle(Vec2::new(5.0, 0.0), 10.0, 10.0);
+        let pr = PolygonRegion::new(vec![left, right], None);
+        assert!((pr.distance_to_outer_boundary(Vec2::ZERO) - 5.0).abs() < 1e-9);
+        // Eroding by 4 keeps the seam point.
+        let eroded = pr.eroded(4.0);
+        assert!(eroded.contains(Vec2::ZERO));
+        assert!(!eroded.contains(Vec2::new(-9.0, 0.0)));
+    }
+
+    #[test]
+    fn orientation_field_exposed() {
+        let field = VectorField::Constant(Heading::from_degrees(45.0));
+        let r = Region::polygons_with_orientation(
+            vec![Polygon::rectangle(Vec2::ZERO, 4.0, 4.0)],
+            field,
+        );
+        let h = r.orientation_at(Vec2::ZERO).unwrap();
+        assert!(h.approx_eq(Heading::from_degrees(45.0), 1e-9));
+        assert!(Region::Empty.orientation_at(Vec2::ZERO).is_none());
+    }
+
+    #[test]
+    fn visible_from_restricts() {
+        let road = Region::rectangle(Vec2::new(0.0, 50.0), 10.0, 100.0);
+        let view = Sector::cone(Vec2::ZERO, 30.0, Heading::NORTH, 1.0);
+        let vis = road.visible_from(view);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..100 {
+            let p = vis.sample(&mut rng).unwrap();
+            assert!(p.norm() <= 30.0 + 1e-9);
+            assert!(p.y >= 0.0);
+        }
+    }
+
+    #[test]
+    fn aabb_of_composites() {
+        let a = Region::rectangle(Vec2::ZERO, 2.0, 2.0);
+        let bb = a.aabb().unwrap();
+        assert_eq!(bb.min, Vec2::new(-1.0, -1.0));
+        let d = Region::disc(Vec2::new(1.0, 1.0), 2.0);
+        let i = a.intersection(d);
+        assert!(i.aabb().is_some());
+        assert!(Region::Everywhere.aabb().is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! Ear-clipping triangulation and uniform sampling from polygons.
+//!
+//! Scenic's `on region` specifier and `Point on road` defaults require
+//! uniform sampling from polygonal regions (§3, §4.3). We triangulate
+//! once, then sample a triangle with probability proportional to its area
+//! and a point uniformly within it.
+
+use crate::{Polygon, Vec2};
+use rand::Rng;
+
+/// A triangle, for area-weighted sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub a: Vec2,
+    /// Second vertex.
+    pub b: Vec2,
+    /// Third vertex.
+    pub c: Vec2,
+}
+
+impl Triangle {
+    /// Non-negative area.
+    pub fn area(&self) -> f64 {
+        ((self.b - self.a).cross(self.c - self.a) / 2.0).abs()
+    }
+
+    /// Uniformly samples a point inside the triangle (via the standard
+    /// square-root warp of barycentric coordinates).
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec2 {
+        let r1: f64 = rng.gen::<f64>().sqrt();
+        let r2: f64 = rng.gen();
+        self.a * (1.0 - r1) + self.b * (r1 * (1.0 - r2)) + self.c * (r1 * r2)
+    }
+
+    /// Whether `p` lies inside the triangle (inclusive).
+    pub fn contains(&self, p: Vec2) -> bool {
+        let d1 = (self.b - self.a).cross(p - self.a);
+        let d2 = (self.c - self.b).cross(p - self.b);
+        let d3 = (self.a - self.c).cross(p - self.c);
+        let has_neg = d1 < -crate::EPSILON || d2 < -crate::EPSILON || d3 < -crate::EPSILON;
+        let has_pos = d1 > crate::EPSILON || d2 > crate::EPSILON || d3 > crate::EPSILON;
+        !(has_neg && has_pos)
+    }
+}
+
+/// Triangulates a simple polygon by ear clipping.
+///
+/// Runs in O(n²), which is ample for scenario maps (cells have < 100
+/// vertices). Returns an empty vector only for degenerate (zero-area)
+/// input.
+pub fn triangulate(polygon: &Polygon) -> Vec<Triangle> {
+    let mut verts: Vec<Vec2> = polygon.vertices().to_vec();
+    let mut triangles = Vec::with_capacity(verts.len().saturating_sub(2));
+
+    let mut guard = 0usize;
+    let max_iters = verts.len() * verts.len() + 16;
+    while verts.len() > 3 && guard < max_iters {
+        guard += 1;
+        let n = verts.len();
+        let mut clipped = false;
+        for i in 0..n {
+            let prev = verts[(i + n - 1) % n];
+            let cur = verts[i];
+            let next = verts[(i + 1) % n];
+            // Ear test: convex corner...
+            if (cur - prev).cross(next - cur) <= crate::EPSILON {
+                continue;
+            }
+            // ...containing no other vertex.
+            let tri = Triangle {
+                a: prev,
+                b: cur,
+                c: next,
+            };
+            let blocked = verts
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i && j != (i + n - 1) % n && j != (i + 1) % n)
+                .any(|(_, &v)| tri.contains(v) && !is_vertex_of(&tri, v));
+            if blocked {
+                continue;
+            }
+            triangles.push(tri);
+            verts.remove(i);
+            clipped = true;
+            break;
+        }
+        if !clipped {
+            // Degenerate ring (collinear runs); drop the flattest vertex.
+            let n = verts.len();
+            let (idx, _) = (0..n)
+                .map(|i| {
+                    let prev = verts[(i + n - 1) % n];
+                    let cur = verts[i];
+                    let next = verts[(i + 1) % n];
+                    (i, (cur - prev).cross(next - cur).abs())
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            verts.remove(idx);
+        }
+    }
+    if verts.len() == 3 {
+        let tri = Triangle {
+            a: verts[0],
+            b: verts[1],
+            c: verts[2],
+        };
+        if tri.area() > crate::EPSILON {
+            triangles.push(tri);
+        }
+    }
+    triangles
+}
+
+fn is_vertex_of(tri: &Triangle, v: Vec2) -> bool {
+    tri.a.approx_eq(v, crate::EPSILON)
+        || tri.b.approx_eq(v, crate::EPSILON)
+        || tri.c.approx_eq(v, crate::EPSILON)
+}
+
+/// Pre-triangulated sampler for a set of polygons, weighted by area.
+#[derive(Debug, Clone)]
+pub struct PolygonSampler {
+    triangles: Vec<Triangle>,
+    cumulative: Vec<f64>,
+    total_area: f64,
+}
+
+impl PolygonSampler {
+    /// Builds a sampler over the union of the given polygons.
+    ///
+    /// Overlapping polygons are sampled with multiplicity (callers that
+    /// need exact uniformity should pass disjoint polygons, as the road
+    /// maps do).
+    pub fn new<'a>(polygons: impl IntoIterator<Item = &'a Polygon>) -> Self {
+        let mut triangles = Vec::new();
+        for poly in polygons {
+            triangles.extend(triangulate(poly));
+        }
+        let mut cumulative = Vec::with_capacity(triangles.len());
+        let mut total = 0.0;
+        for t in &triangles {
+            total += t.area();
+            cumulative.push(total);
+        }
+        PolygonSampler {
+            triangles,
+            cumulative,
+            total_area: total,
+        }
+    }
+
+    /// Total area covered.
+    pub fn total_area(&self) -> f64 {
+        self.total_area
+    }
+
+    /// Whether there is any area to sample from.
+    pub fn is_empty(&self) -> bool {
+        self.total_area <= crate::EPSILON
+    }
+
+    /// Uniformly samples a point; `None` if the region is degenerate.
+    pub fn sample(&self, rng: &mut impl Rng) -> Option<Vec2> {
+        if self.is_empty() {
+            return None;
+        }
+        let t = rng.gen_range(0.0..self.total_area);
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < t)
+            .min(self.triangles.len() - 1);
+        Some(self.triangles[idx].sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triangulate_square() {
+        let sq = Polygon::rectangle(Vec2::ZERO, 2.0, 2.0);
+        let tris = triangulate(&sq);
+        assert_eq!(tris.len(), 2);
+        let area: f64 = tris.iter().map(Triangle::area).sum();
+        assert!((area - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangulate_concave() {
+        let l = Polygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(1.0, 2.0),
+            Vec2::new(0.0, 2.0),
+        ]);
+        let tris = triangulate(&l);
+        let area: f64 = tris.iter().map(Triangle::area).sum();
+        assert!((area - l.area()).abs() < 1e-9);
+        // All triangle centroids must lie inside the L.
+        for t in &tris {
+            let c = (t.a + t.b + t.c) / 3.0;
+            assert!(l.contains(c), "centroid {c} escaped the polygon");
+        }
+    }
+
+    #[test]
+    fn triangle_sampling_stays_inside() {
+        let tri = Triangle {
+            a: Vec2::new(0.0, 0.0),
+            b: Vec2::new(4.0, 0.0),
+            c: Vec2::new(0.0, 3.0),
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            assert!(tri.contains(tri.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn sampler_uniformity_between_disjoint_squares() {
+        // One square has 4x the area of the other; sample counts should
+        // reflect that.
+        let big = Polygon::rectangle(Vec2::new(0.0, 0.0), 2.0, 2.0);
+        let small = Polygon::rectangle(Vec2::new(10.0, 0.0), 1.0, 1.0);
+        let sampler = PolygonSampler::new([&big, &small]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut in_big = 0;
+        let n = 5000;
+        for _ in 0..n {
+            let p = sampler.sample(&mut rng).unwrap();
+            if big.contains(p) {
+                in_big += 1;
+            } else {
+                assert!(small.contains(p));
+            }
+        }
+        let frac = in_big as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.03, "got fraction {frac}");
+    }
+
+    #[test]
+    fn empty_sampler() {
+        let sampler = PolygonSampler::new(std::iter::empty::<&Polygon>());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sampler.is_empty());
+        assert!(sampler.sample(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,315 @@
+//! 2D vectors.
+//!
+//! Scenic vectors represent positions and offsets in meters (§4.1). The
+//! coordinate convention follows the paper: `y` points North and headings
+//! are measured anticlockwise from North, so an offset of `-2 @ 3` in a
+//! local coordinate system means "2 meters left and 3 ahead".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2D vector (position or offset) in meters.
+///
+/// # Example
+///
+/// ```
+/// use scenic_geom::Vec2;
+/// let v = Vec2::new(3.0, 4.0);
+/// assert_eq!(v.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East-west component (East positive).
+    pub x: f64,
+    /// North-south component (North positive).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean length.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean length (avoids the square root).
+    pub fn norm_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance_to(self, other: Vec2) -> f64 {
+        (other - self).norm()
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product (z-component of the 3D cross product).
+    ///
+    /// Positive when `other` is anticlockwise from `self`.
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Rotates the vector by `theta` radians anticlockwise.
+    ///
+    /// This is the `rotate` primitive of the paper's Appendix C:
+    /// `rotate(<x, y>, θ) = <x cos θ − y sin θ, x sin θ + y cos θ>`.
+    pub fn rotated(self, theta: f64) -> Vec2 {
+        let (s, c) = theta.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Returns the unit vector in the same direction.
+    ///
+    /// Returns [`Vec2::ZERO`] for the zero vector.
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        if n < crate::EPSILON {
+            Vec2::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// The vector rotated 90° anticlockwise.
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Whether both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Whether two vectors are within `tol` of each other.
+    pub fn approx_eq(self, other: Vec2, tol: f64) -> bool {
+        (self - other).norm() <= tol
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+/// Distance from point `p` to the segment `a`–`b`.
+pub fn point_segment_distance(p: Vec2, a: Vec2, b: Vec2) -> f64 {
+    let ab = b - a;
+    let len2 = ab.norm_squared();
+    if len2 < crate::EPSILON {
+        return p.distance_to(a);
+    }
+    let t = ((p - a).dot(ab) / len2).clamp(0.0, 1.0);
+    p.distance_to(a + ab * t)
+}
+
+/// Intersection of segments `a1`–`a2` and `b1`–`b2`, if any.
+pub fn segment_intersection(a1: Vec2, a2: Vec2, b1: Vec2, b2: Vec2) -> Option<Vec2> {
+    let r = a2 - a1;
+    let s = b2 - b1;
+    let denom = r.cross(s);
+    if denom.abs() < crate::EPSILON {
+        return None; // parallel or collinear: treated as non-intersecting
+    }
+    let t = (b1 - a1).cross(s) / denom;
+    let u = (b1 - a1).cross(r) / denom;
+    if (-crate::EPSILON..=1.0 + crate::EPSILON).contains(&t)
+        && (-crate::EPSILON..=1.0 + crate::EPSILON).contains(&u)
+    {
+        Some(a1 + r * t)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn rotation_anticlockwise() {
+        // Rotating North (0, 1) by 90° anticlockwise gives West (-1, 0).
+        let north = Vec2::new(0.0, 1.0);
+        let west = north.rotated(std::f64::consts::FRAC_PI_2);
+        assert!(west.approx_eq(Vec2::new(-1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vec2::new(3.7, -2.2);
+        for i in 0..16 {
+            let theta = i as f64 * 0.5;
+            assert!((v.rotated(theta).norm() - v.norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cross_sign_convention() {
+        let east = Vec2::new(1.0, 0.0);
+        let north = Vec2::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0);
+        assert!(north.cross(east) < 0.0);
+    }
+
+    #[test]
+    fn normalized_zero_is_zero() {
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn point_segment_distance_cases() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, 0.0);
+        // Perpendicular foot inside the segment.
+        assert!((point_segment_distance(Vec2::new(5.0, 3.0), a, b) - 3.0).abs() < 1e-12);
+        // Beyond the endpoints the distance is to the endpoint.
+        assert!((point_segment_distance(Vec2::new(-4.0, 3.0), a, b) - 5.0).abs() < 1e-12);
+        assert!((point_segment_distance(Vec2::new(14.0, 3.0), a, b) - 5.0).abs() < 1e-12);
+        // Degenerate segment.
+        assert!((point_segment_distance(Vec2::new(3.0, 4.0), a, a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_intersection_crossing() {
+        let p = segment_intersection(
+            Vec2::new(0.0, 0.0),
+            Vec2::new(10.0, 10.0),
+            Vec2::new(0.0, 10.0),
+            Vec2::new(10.0, 0.0),
+        )
+        .unwrap();
+        assert!(p.approx_eq(Vec2::new(5.0, 5.0), 1e-12));
+    }
+
+    #[test]
+    fn segment_intersection_disjoint_and_parallel() {
+        assert!(segment_intersection(
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(1.0, 1.0),
+        )
+        .is_none());
+        assert!(segment_intersection(
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(5.0, 0.0),
+            Vec2::new(6.0, 1.0),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn display_uses_at_syntax() {
+        assert_eq!(Vec2::new(1.5, -2.0).to_string(), "1.5 @ -2");
+    }
+}

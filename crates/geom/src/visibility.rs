@@ -1,0 +1,113 @@
+//! Visibility: the `can see` predicate and `visibleRegion` (§4.2).
+//!
+//! "X can see Y uses a simple model where a `Point` can see a certain
+//! distance, and an `OrientedPoint` restricts this to the sector along
+//! its heading with a certain angle. An `Object` is visible iff its
+//! bounding box is."
+
+use crate::{Heading, OrientedBox, Sector, Vec2};
+
+/// The view parameters of an observer (from Table 2:
+/// `viewDistance` default 50, `viewAngle` default 360°).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viewer {
+    /// Observer position.
+    pub position: Vec2,
+    /// Observer heading (ignored when `view_angle` covers the circle).
+    pub heading: Heading,
+    /// Maximum view distance in meters.
+    pub view_distance: f64,
+    /// View cone opening angle in radians.
+    pub view_angle: f64,
+}
+
+impl Viewer {
+    /// An omnidirectional viewer (a `Point` in the paper's model).
+    pub fn point(position: Vec2, view_distance: f64) -> Self {
+        Viewer {
+            position,
+            heading: Heading::NORTH,
+            view_distance,
+            view_angle: std::f64::consts::TAU,
+        }
+    }
+
+    /// A directional viewer (an `OrientedPoint`).
+    pub fn oriented(position: Vec2, heading: Heading, view_distance: f64, view_angle: f64) -> Self {
+        Viewer {
+            position,
+            heading,
+            view_distance,
+            view_angle,
+        }
+    }
+
+    /// The paper's `visibleRegion(X)`: a disc for points, a sector for
+    /// oriented points.
+    pub fn visible_region(&self) -> Sector {
+        if self.view_angle >= std::f64::consts::TAU - crate::EPSILON {
+            Sector::disc(self.position, self.view_distance)
+        } else {
+            Sector::cone(
+                self.position,
+                self.view_distance,
+                self.heading,
+                self.view_angle,
+            )
+        }
+    }
+
+    /// Whether a bare point is visible.
+    pub fn can_see_point(&self, p: Vec2) -> bool {
+        self.visible_region().contains(p)
+    }
+
+    /// Whether an object's bounding box is visible:
+    /// `visibleRegion(X) ∩ boundingBox(O) ≠ ∅`.
+    pub fn can_see_box(&self, bbox: &OrientedBox) -> bool {
+        self.visible_region().intersects_polygon(&bbox.to_polygon())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_viewer_sees_disc() {
+        let v = Viewer::point(Vec2::ZERO, 10.0);
+        assert!(v.can_see_point(Vec2::new(0.0, -9.0)));
+        assert!(!v.can_see_point(Vec2::new(0.0, -11.0)));
+    }
+
+    #[test]
+    fn oriented_viewer_restricted_to_cone() {
+        let v = Viewer::oriented(Vec2::ZERO, Heading::NORTH, 50.0, 80f64.to_radians());
+        assert!(v.can_see_point(Vec2::new(0.0, 20.0)));
+        // 45° off-axis is outside an 80° cone.
+        assert!(!v.can_see_point(Vec2::new(20.0, 20.0)));
+        assert!(!v.can_see_point(Vec2::new(0.0, -20.0)));
+    }
+
+    #[test]
+    fn object_visible_iff_bounding_box_is() {
+        let v = Viewer::oriented(Vec2::ZERO, Heading::NORTH, 30.0, 80f64.to_radians());
+        // Center out of the cone, but the box pokes into it.
+        let b = OrientedBox::new(Vec2::new(18.0, 20.0), Heading::NORTH, 10.0, 2.0);
+        assert!(v.can_see_box(&b));
+        // Entirely outside.
+        let far = OrientedBox::new(Vec2::new(0.0, 40.0), Heading::NORTH, 2.0, 2.0);
+        assert!(!v.can_see_box(&far));
+        // Behind the viewer.
+        let behind = OrientedBox::new(Vec2::new(0.0, -5.0), Heading::NORTH, 2.0, 2.0);
+        assert!(!v.can_see_box(&behind));
+    }
+
+    #[test]
+    fn visible_region_shape() {
+        let p = Viewer::point(Vec2::ZERO, 5.0);
+        assert!(p.visible_region().is_disc());
+        let o = Viewer::oriented(Vec2::ZERO, Heading::NORTH, 5.0, 1.0);
+        assert!(!o.visible_region().is_disc());
+    }
+}

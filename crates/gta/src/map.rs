@@ -1,0 +1,455 @@
+//! Procedural road map: the substitute for the GTAV world geometry.
+//!
+//! The paper extracted an approximate polygonal map (road region, curbs,
+//! and nominal traffic direction) from a bird's-eye schematic of GTAV
+//! (Appendix D). We generate an equivalent structure procedurally: a
+//! grid city with two-way and one-way roads, multi-lane arterials,
+//! per-lane traffic-direction cells, curbs, and intersections. The
+//! interfaces exposed — a polygonal `road` region, a `curb` region, and
+//! a cell-wise constant `roadDirection` field — are exactly what the
+//! scenarios and pruning algorithms (§5.2) consume.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scenic_geom::field::FieldCell;
+use scenic_geom::{Aabb, Heading, Polygon, Vec2, VectorField};
+
+/// Configuration of the generated city.
+#[derive(Debug, Clone, Copy)]
+pub struct MapConfig {
+    /// Number of city blocks along x.
+    pub blocks_x: usize,
+    /// Number of city blocks along y.
+    pub blocks_y: usize,
+    /// Block pitch in meters (road centerline to road centerline).
+    pub block_size: f64,
+    /// Width of one lane in meters.
+    pub lane_width: f64,
+    /// Lanes per direction on arterial roads.
+    pub arterial_lanes: usize,
+    /// Lanes per direction on ordinary streets.
+    pub street_lanes: usize,
+    /// Every `n`-th road is an arterial (0 disables arterials).
+    pub arterial_every: usize,
+    /// Fraction of ordinary streets that are one-way.
+    pub one_way_fraction: f64,
+    /// RNG seed for one-way assignment.
+    pub seed: u64,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        MapConfig {
+            blocks_x: 5,
+            blocks_y: 5,
+            block_size: 80.0,
+            lane_width: 3.5,
+            arterial_lanes: 3,
+            street_lanes: 1,
+            arterial_every: 2,
+            one_way_fraction: 0.3,
+            seed: 2019,
+        }
+    }
+}
+
+/// A single lane cell: a rectangle with a constant traffic direction.
+pub type Lane = FieldCell;
+
+/// The generated map.
+#[derive(Debug, Clone)]
+pub struct RoadMap {
+    /// Lane cells (disjoint rectangles with traffic headings).
+    pub lanes: Vec<Lane>,
+    /// Intersection squares (part of the road, direction defaults to the
+    /// crossing arterial's heading).
+    pub intersections: Vec<FieldCell>,
+    /// Whole direction blocks (all same-direction lanes of one road
+    /// segment as a single cell) — the granularity Algorithm 3's width
+    /// pruning needs.
+    pub blocks: Vec<FieldCell>,
+    /// Curb strips along road edges, oriented with the adjacent lane.
+    pub curbs: Vec<FieldCell>,
+    /// Map bounds (the workspace).
+    pub bounds: Aabb,
+}
+
+/// Orientation of a road.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    Vertical,
+    Horizontal,
+}
+
+impl RoadMap {
+    /// Generates the grid city.
+    pub fn generate(config: &MapConfig) -> RoadMap {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let nx = config.blocks_x;
+        let ny = config.blocks_y;
+        let pitch = config.block_size;
+        let width = nx as f64 * pitch;
+        let height = ny as f64 * pitch;
+
+        // Road descriptors: (index, axis, lanes per direction, one_way).
+        struct Road {
+            coord: f64,
+            axis: Axis,
+            lanes_per_dir: usize,
+            one_way: bool,
+        }
+        let mut roads = Vec::new();
+        for axis in [Axis::Vertical, Axis::Horizontal] {
+            let count = match axis {
+                Axis::Vertical => nx + 1,
+                Axis::Horizontal => ny + 1,
+            };
+            for i in 0..count {
+                let arterial = config.arterial_every > 0 && i % config.arterial_every == 0;
+                let lanes_per_dir = if arterial {
+                    config.arterial_lanes
+                } else {
+                    config.street_lanes
+                };
+                let one_way = !arterial && rng.gen::<f64>() < config.one_way_fraction;
+                roads.push(Road {
+                    coord: i as f64 * pitch,
+                    axis,
+                    lanes_per_dir,
+                    one_way,
+                });
+            }
+        }
+
+        let half_width = |r: &Road| {
+            let dirs = if r.one_way { 1.0 } else { 2.0 };
+            dirs * r.lanes_per_dir as f64 * config.lane_width / 2.0
+        };
+        let max_cross = |axis: Axis, coord: f64| -> f64 {
+            roads
+                .iter()
+                .filter(|r| r.axis != axis && (r.coord - coord).abs() < 1e-6)
+                .map(half_width)
+                .fold(0.0, f64::max)
+        };
+
+        let mut lanes = Vec::new();
+        let mut blocks = Vec::new();
+        let mut curbs = Vec::new();
+        let mut intersections = Vec::new();
+        let curb_width = 0.3;
+
+        for road in &roads {
+            let hw = half_width(road);
+            let (lo, hi) = match road.axis {
+                Axis::Vertical => (0.0, height),
+                Axis::Horizontal => (0.0, width),
+            };
+            // Segment the road between crossing roads.
+            let crossings: Vec<f64> = {
+                let mut cs: Vec<f64> = roads
+                    .iter()
+                    .filter(|r| r.axis != road.axis)
+                    .map(|r| r.coord)
+                    .collect();
+                cs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                cs
+            };
+            let mut segments = Vec::new();
+            let mut start = lo;
+            for &c in &crossings {
+                let cross_hw = max_cross(road.axis, c);
+                let end = c - cross_hw;
+                if end > start + 1.0 {
+                    segments.push((start, end));
+                }
+                start = c + cross_hw;
+            }
+            if hi > start + 1.0 {
+                segments.push((start, hi));
+            }
+
+            // Lane directions: for two-way vertical roads, northbound on
+            // the east half (right-hand traffic); one-way roads pick the
+            // "positive" direction.
+            let dirs: Vec<(f64, Heading)> = {
+                // (lateral sign, heading) per direction block.
+                match (road.axis, road.one_way) {
+                    (Axis::Vertical, true) => vec![(0.0, Heading::NORTH)],
+                    (Axis::Vertical, false) => {
+                        vec![(1.0, Heading::NORTH), (-1.0, Heading::from_degrees(180.0))]
+                    }
+                    (Axis::Horizontal, true) => vec![(0.0, Heading::from_degrees(-90.0))],
+                    (Axis::Horizontal, false) => vec![
+                        (1.0, Heading::from_degrees(-90.0)),
+                        (-1.0, Heading::from_degrees(90.0)),
+                    ],
+                }
+            };
+            // For horizontal roads "lateral" is y; sign 1 means the
+            // south half carries eastbound traffic (right-hand rule).
+            for (seg_lo, seg_hi) in &segments {
+                let mid = (seg_lo + seg_hi) / 2.0;
+                let len = seg_hi - seg_lo;
+                for (sign, heading) in &dirs {
+                    let n_lanes = road.lanes_per_dir;
+                    let dir_width = n_lanes as f64 * config.lane_width;
+                    // Lateral extent of this direction block.
+                    let (block_lo, _block_hi) = if *sign == 0.0 {
+                        (-hw, hw)
+                    } else if *sign > 0.0 {
+                        match road.axis {
+                            Axis::Vertical => (0.0, dir_width),
+                            Axis::Horizontal => (-dir_width, 0.0),
+                        }
+                    } else {
+                        match road.axis {
+                            Axis::Vertical => (-dir_width, 0.0),
+                            Axis::Horizontal => (0.0, dir_width),
+                        }
+                    };
+                    {
+                        // The whole direction block as one cell.
+                        let lat_mid = block_lo + dir_width / 2.0;
+                        let center = match road.axis {
+                            Axis::Vertical => Vec2::new(road.coord + lat_mid, mid),
+                            Axis::Horizontal => Vec2::new(mid, road.coord + lat_mid),
+                        };
+                        let polygon = match road.axis {
+                            Axis::Vertical => Polygon::rectangle(center, dir_width, len),
+                            Axis::Horizontal => Polygon::rectangle(center, len, dir_width),
+                        };
+                        blocks.push(FieldCell {
+                            polygon,
+                            heading: *heading,
+                        });
+                    }
+                    for lane_idx in 0..n_lanes {
+                        let lat_lo = block_lo + lane_idx as f64 * config.lane_width;
+                        let lat_mid = lat_lo + config.lane_width / 2.0;
+                        let center = match road.axis {
+                            Axis::Vertical => Vec2::new(road.coord + lat_mid, mid),
+                            Axis::Horizontal => Vec2::new(mid, road.coord + lat_mid),
+                        };
+                        let polygon = match road.axis {
+                            Axis::Vertical => Polygon::rectangle(center, config.lane_width, len),
+                            Axis::Horizontal => Polygon::rectangle(center, len, config.lane_width),
+                        };
+                        lanes.push(FieldCell {
+                            polygon,
+                            heading: *heading,
+                        });
+                    }
+                }
+                // Curbs at both road edges, oriented with the adjacent
+                // lane.
+                for (edge_sign, heading) in [(-1.0, dirs.last()), (1.0, dirs.first())] {
+                    let Some((_, heading)) = heading else {
+                        continue;
+                    };
+                    let lat = edge_sign * (hw + curb_width / 2.0);
+                    let center = match road.axis {
+                        Axis::Vertical => Vec2::new(road.coord + lat, mid),
+                        Axis::Horizontal => Vec2::new(mid, road.coord + lat),
+                    };
+                    let polygon = match road.axis {
+                        Axis::Vertical => Polygon::rectangle(center, curb_width, len),
+                        Axis::Horizontal => Polygon::rectangle(center, len, curb_width),
+                    };
+                    curbs.push(FieldCell {
+                        polygon,
+                        heading: *heading,
+                    });
+                }
+            }
+        }
+
+        // Intersections: squares where roads cross, sized to the larger
+        // road, oriented along the vertical road's nominal direction.
+        for v in roads.iter().filter(|r| r.axis == Axis::Vertical) {
+            for h in roads.iter().filter(|r| r.axis == Axis::Horizontal) {
+                let hw_v = half_width(v);
+                let hw_h = half_width(h);
+                let center = Vec2::new(v.coord, h.coord);
+                let polygon = Polygon::rectangle(center, 2.0 * hw_v, 2.0 * hw_h);
+                intersections.push(FieldCell {
+                    polygon,
+                    heading: Heading::NORTH,
+                });
+            }
+        }
+
+        RoadMap {
+            lanes,
+            intersections,
+            blocks,
+            curbs,
+            bounds: Aabb::new(
+                Vec2::new(-pitch / 2.0, -pitch / 2.0),
+                Vec2::new(width + pitch / 2.0, height + pitch / 2.0),
+            ),
+        }
+    }
+
+    /// All drivable cells (lanes + intersections) for the
+    /// `roadDirection` field and the pruning algorithms.
+    pub fn drivable_cells(&self) -> Vec<FieldCell> {
+        let mut cells = self.lanes.clone();
+        cells.extend(self.intersections.iter().cloned());
+        cells
+    }
+
+    /// The polygons of the `road` region.
+    pub fn road_polygons(&self) -> Vec<Polygon> {
+        self.drivable_cells()
+            .into_iter()
+            .map(|c| c.polygon)
+            .collect()
+    }
+
+    /// The traffic-direction vector field.
+    pub fn road_direction(&self) -> VectorField {
+        VectorField::polygonal(self.drivable_cells(), Heading::NORTH)
+    }
+
+    /// Curb polygons with their orientations.
+    pub fn curb_cells(&self) -> &[FieldCell] {
+        &self.curbs
+    }
+
+    /// Total drivable area in square meters.
+    pub fn road_area(&self) -> f64 {
+        self.road_polygons().iter().map(Polygon::area).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = RoadMap::generate(&MapConfig::default());
+        let b = RoadMap::generate(&MapConfig::default());
+        assert_eq!(a.lanes.len(), b.lanes.len());
+        assert_eq!(a.lanes[0].polygon, b.lanes[0].polygon);
+    }
+
+    #[test]
+    fn map_has_lanes_curbs_intersections() {
+        let map = RoadMap::generate(&MapConfig::default());
+        assert!(map.lanes.len() > 20, "lanes: {}", map.lanes.len());
+        assert!(!map.curbs.is_empty());
+        assert_eq!(map.intersections.len(), 36); // (5+1)^2 crossings
+    }
+
+    #[test]
+    fn lanes_within_bounds() {
+        let map = RoadMap::generate(&MapConfig::default());
+        for lane in &map.lanes {
+            for &v in lane.polygon.vertices() {
+                assert!(map.bounds.contains(v), "lane vertex {v} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn two_way_roads_have_opposing_lanes() {
+        let map = RoadMap::generate(&MapConfig::default());
+        let north = map
+            .lanes
+            .iter()
+            .filter(|l| l.heading.approx_eq(Heading::NORTH, 0.01))
+            .count();
+        let south = map
+            .lanes
+            .iter()
+            .filter(|l| l.heading.approx_eq(Heading::from_degrees(180.0), 0.01))
+            .count();
+        assert!(north > 0 && south > 0);
+        // Right-hand traffic: on two-way vertical roads, northbound lanes
+        // sit east of the centerline.
+        for lane in map
+            .lanes
+            .iter()
+            .filter(|l| l.heading.approx_eq(Heading::NORTH, 0.01))
+        {
+            let c = lane.polygon.centroid();
+            let road_x = (c.x / 80.0).round() * 80.0;
+            if (c.x - road_x).abs() < 20.0 {
+                // Skip one-way roads (centered on the road line).
+                let offset = c.x - road_x;
+                assert!(offset > -2.0, "northbound lane west of center: {offset}");
+            }
+        }
+    }
+
+    #[test]
+    fn road_direction_field_matches_lanes() {
+        let map = RoadMap::generate(&MapConfig::default());
+        let field = map.road_direction();
+        for lane in map.lanes.iter().take(20) {
+            let c = lane.polygon.centroid();
+            assert!(
+                field.at(c).approx_eq(lane.heading, 1e-9),
+                "field disagrees with lane at {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn lanes_are_disjoint() {
+        let map = RoadMap::generate(&MapConfig {
+            blocks_x: 2,
+            blocks_y: 2,
+            ..MapConfig::default()
+        });
+        for (i, a) in map.lanes.iter().enumerate() {
+            for b in map.lanes.iter().skip(i + 1) {
+                // Shared edges are fine; overlapping interiors are not.
+                let ca = a.polygon.centroid();
+                assert!(!b.polygon.contains(ca), "lane centroid inside another lane");
+            }
+        }
+    }
+
+    #[test]
+    fn one_way_fraction_respected_roughly() {
+        let all_two_way = RoadMap::generate(&MapConfig {
+            one_way_fraction: 0.0,
+            ..MapConfig::default()
+        });
+        let south = all_two_way
+            .lanes
+            .iter()
+            .filter(|l| l.heading.approx_eq(Heading::from_degrees(180.0), 0.01))
+            .count();
+        let north = all_two_way
+            .lanes
+            .iter()
+            .filter(|l| l.heading.approx_eq(Heading::NORTH, 0.01))
+            .count();
+        assert_eq!(south, north, "two-way city must be symmetric");
+    }
+
+    #[test]
+    fn curbs_oriented_along_road() {
+        let map = RoadMap::generate(&MapConfig::default());
+        for curb in map.curb_cells().iter().take(10) {
+            let h = curb.heading;
+            // Curb headings are one of the four cardinal directions.
+            let ok = [0.0, 90.0, 180.0, -90.0]
+                .iter()
+                .any(|d| h.approx_eq(Heading::from_degrees(*d), 0.01));
+            assert!(ok, "unexpected curb heading {h}");
+        }
+    }
+
+    #[test]
+    fn road_area_positive_and_bounded() {
+        let map = RoadMap::generate(&MapConfig::default());
+        let area = map.road_area();
+        let total = 400.0 * 400.0 * 2.0; // generous bound with margin
+        assert!(area > 0.0 && area < total, "area {area}");
+    }
+}

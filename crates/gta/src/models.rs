@@ -1,0 +1,250 @@
+//! Car models and colors.
+//!
+//! §6.1: "a uniform distribution over 13 diverse models provided by
+//! GTAV, and `color`, … with a default distribution based on real-world
+//! car color statistics \[8\]" (the DuPont 2012 color popularity report).
+
+/// A car model: name plus bounding-box dimensions in meters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarModel {
+    /// GTAV-style model name.
+    pub name: &'static str,
+    /// Width (meters).
+    pub width: f64,
+    /// Length, i.e. the Scenic bounding-box `height` (meters).
+    pub height: f64,
+}
+
+/// The 13 car models of the case study (§6.1), with realistic bounding
+/// boxes.
+pub const CAR_MODELS: [CarModel; 13] = [
+    CarModel {
+        name: "BLISTA",
+        width: 1.8,
+        height: 4.2,
+    },
+    CarModel {
+        name: "BUFFALO",
+        width: 1.9,
+        height: 5.0,
+    },
+    CarModel {
+        name: "BUS",
+        width: 2.5,
+        height: 11.0,
+    },
+    CarModel {
+        name: "DILETTANTE",
+        width: 1.8,
+        height: 4.4,
+    },
+    CarModel {
+        name: "DOMINATOR",
+        width: 1.9,
+        height: 4.9,
+    },
+    CarModel {
+        name: "GRANGER",
+        width: 2.1,
+        height: 5.3,
+    },
+    CarModel {
+        name: "JACKAL",
+        width: 1.9,
+        height: 4.8,
+    },
+    CarModel {
+        name: "ORACLE",
+        width: 1.9,
+        height: 5.1,
+    },
+    CarModel {
+        name: "PATRIOT",
+        width: 2.2,
+        height: 5.1,
+    },
+    CarModel {
+        name: "PRANGER",
+        width: 2.1,
+        height: 5.3,
+    },
+    CarModel {
+        name: "PREMIER",
+        width: 1.9,
+        height: 4.8,
+    },
+    CarModel {
+        name: "STRATUM",
+        width: 1.9,
+        height: 4.9,
+    },
+    CarModel {
+        name: "TAILGATER",
+        width: 1.9,
+        height: 4.9,
+    },
+];
+
+/// The fixed model used for the ego car (the paper's `EgoCar` overrides
+/// `model` with a fixed choice).
+pub const EGO_MODEL: CarModel = CarModel {
+    name: "EGO_BLISTA",
+    width: 1.8,
+    height: 4.2,
+};
+
+/// A named color with an RGB triple in `[0, 1]` and its real-world
+/// popularity weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarColor {
+    /// Color family name.
+    pub name: &'static str,
+    /// RGB in `[0, 1]`.
+    pub rgb: [f64; 3],
+    /// DuPont 2012 popularity weight (percent).
+    pub weight: f64,
+}
+
+/// Real-world car color statistics (DuPont 2012 global report, \[8\] in
+/// the paper).
+pub const CAR_COLORS: [CarColor; 9] = [
+    CarColor {
+        name: "white",
+        rgb: [0.95, 0.95, 0.95],
+        weight: 23.0,
+    },
+    CarColor {
+        name: "black",
+        rgb: [0.05, 0.05, 0.05],
+        weight: 21.0,
+    },
+    CarColor {
+        name: "silver",
+        rgb: [0.75, 0.75, 0.78],
+        weight: 16.0,
+    },
+    CarColor {
+        name: "gray",
+        rgb: [0.50, 0.50, 0.52],
+        weight: 13.0,
+    },
+    CarColor {
+        name: "red",
+        rgb: [0.75, 0.10, 0.10],
+        weight: 10.0,
+    },
+    CarColor {
+        name: "blue",
+        rgb: [0.10, 0.20, 0.65],
+        weight: 9.0,
+    },
+    CarColor {
+        name: "brown",
+        rgb: [0.45, 0.30, 0.15],
+        weight: 5.0,
+    },
+    CarColor {
+        name: "green",
+        rgb: [0.10, 0.45, 0.15],
+        weight: 2.0,
+    },
+    CarColor {
+        name: "yellow",
+        rgb: [0.90, 0.80, 0.10],
+        weight: 1.0,
+    },
+];
+
+/// The 14 discrete weather types GTAV supports (§6.1).
+pub const WEATHER_TYPES: [(&str, f64); 14] = [
+    ("EXTRASUNNY", 18.0),
+    ("CLEAR", 18.0),
+    ("CLOUDS", 12.0),
+    ("SMOG", 6.0),
+    ("FOGGY", 5.0),
+    ("OVERCAST", 10.0),
+    ("RAIN", 5.0),
+    ("THUNDER", 3.0),
+    ("CLEARING", 6.0),
+    ("NEUTRAL", 6.0),
+    ("SNOW", 2.0),
+    ("BLIZZARD", 1.0),
+    ("SNOWLIGHT", 2.0),
+    ("XMAS", 1.0),
+];
+
+/// How adverse a weather type is for perception, in `[0, 1]` (0 = ideal
+/// visibility). Used by the simulator substrate to derive photometric
+/// features.
+pub fn weather_severity(weather: &str) -> f64 {
+    match weather {
+        "EXTRASUNNY" | "CLEAR" => 0.0,
+        "CLEARING" | "NEUTRAL" => 0.15,
+        "CLOUDS" | "OVERCAST" => 0.25,
+        "SMOG" => 0.4,
+        "FOGGY" => 0.7,
+        "RAIN" => 0.65,
+        "THUNDER" => 0.8,
+        "SNOW" | "SNOWLIGHT" => 0.6,
+        "BLIZZARD" => 0.95,
+        "XMAS" => 0.5,
+        _ => 0.3,
+    }
+}
+
+/// Model lookup by name.
+pub fn model_by_name(name: &str) -> Option<&'static CarModel> {
+    if name == EGO_MODEL.name {
+        return Some(&EGO_MODEL);
+    }
+    CAR_MODELS.iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_models() {
+        assert_eq!(CAR_MODELS.len(), 13);
+        let mut names: Vec<&str> = CAR_MODELS.iter().map(|m| m.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 13, "duplicate model names");
+    }
+
+    #[test]
+    fn model_dimensions_sane() {
+        for m in &CAR_MODELS {
+            assert!(m.width > 1.5 && m.width < 3.0, "{}", m.name);
+            assert!(m.height > 3.5 && m.height < 12.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn color_weights_sum_to_hundred() {
+        let total: f64 = CAR_COLORS.iter().map(|c| c.weight).sum();
+        assert!((total - 100.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn fourteen_weather_types() {
+        assert_eq!(WEATHER_TYPES.len(), 14);
+        for (name, _) in &WEATHER_TYPES {
+            let s = weather_severity(name);
+            assert!((0.0..=1.0).contains(&s), "{name}: {s}");
+        }
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(weather_severity("RAIN") > weather_severity("CLEAR"));
+        assert!(weather_severity("BLIZZARD") > weather_severity("RAIN"));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(model_by_name("DOMINATOR").is_some());
+        assert!(model_by_name("EGO_BLISTA").is_some());
+        assert!(model_by_name("NOPE").is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! Diagnostics for the Scenic front end.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// An error produced while lexing or parsing a Scenic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Where the problem was detected.
+    pub pos: Pos,
+}
+
+impl ParseError {
+    /// Creates an error at a position.
+    pub fn new(message: impl Into<String>, pos: Pos) -> Self {
+        ParseError {
+            message: message.into(),
+            pos,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for front-end operations.
+pub type ParseResult<T> = Result<T, ParseError>;

@@ -1,0 +1,218 @@
+//! Tokens of the Scenic language.
+//!
+//! Scenic's surface syntax is Python-like (indentation-sensitive, `#`
+//! comments) extended with natural-language geometric operators. Most of
+//! those operators are *contextual* keywords — `left`, `of`, `by`,
+//! `facing`, … are ordinary identifiers that the parser interprets by
+//! spelling — so the lexer only reserves the words that affect statement
+//! structure.
+
+use std::fmt;
+
+/// A source location (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+/// The kinds of Scenic tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and names
+    /// Numeric literal (integers and floats are both scalars).
+    Number(f64),
+    /// String literal (single- or double-quoted).
+    Str(String),
+    /// Identifier or contextual keyword.
+    Ident(String),
+
+    // Reserved keywords (statement structure and logic)
+    /// `import`
+    Import,
+    /// `class`
+    Class,
+    /// `def`
+    Def,
+    /// `return`
+    Return,
+    /// `if`
+    If,
+    /// `elif`
+    Elif,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `in` (both the loop keyword and the `is in` operator tail)
+    In,
+    /// `is`
+    Is,
+    /// `not`
+    Not,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `True`
+    True,
+    /// `False`
+    False,
+    /// `None`
+    NoneKw,
+    /// `param`
+    Param,
+    /// `require`
+    Require,
+    /// `mutate`
+    Mutate,
+    /// `pass`
+    Pass,
+
+    // Punctuation and operators
+    /// `@` — vector construction.
+    AtSign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+
+    // Layout
+    /// End of logical line.
+    Newline,
+    /// Increase of indentation.
+    Indent,
+    /// Decrease of indentation.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The reserved keyword for `text`, if any.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        Some(match text {
+            "import" => TokenKind::Import,
+            "class" => TokenKind::Class,
+            "def" => TokenKind::Def,
+            "return" => TokenKind::Return,
+            "if" => TokenKind::If,
+            "elif" => TokenKind::Elif,
+            "else" => TokenKind::Else,
+            "for" => TokenKind::For,
+            "while" => TokenKind::While,
+            "in" => TokenKind::In,
+            "is" => TokenKind::Is,
+            "not" => TokenKind::Not,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "True" => TokenKind::True,
+            "False" => TokenKind::False,
+            "None" => TokenKind::NoneKw,
+            "param" => TokenKind::Param,
+            "require" => TokenKind::Require,
+            "mutate" => TokenKind::Mutate,
+            "pass" => TokenKind::Pass,
+            _ => return None,
+        })
+    }
+
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == word)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Newline => write!(f, "newline"),
+            TokenKind::Indent => write!(f, "indent"),
+            TokenKind::Dedent => write!(f, "dedent"),
+            TokenKind::Eof => write!(f, "end of input"),
+            TokenKind::AtSign => write!(f, "`@`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Eq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            other => write!(f, "`{}`", format!("{other:?}").to_lowercase()),
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! # scenic-mars
+//!
+//! The robot-motion-planning domain of §3 and Appendix A.12: a Mars
+//! rover in a rubble field of rocks and pipes, with a bottleneck between
+//! the rover and its goal that forces a planner to consider climbing
+//! over a rock (Fig. 4/22/23).
+//!
+//! The paper visualized these workspaces in Webots; per the substitution
+//! rule we provide the workspace geometry, the object classes, and a
+//! grid [`planner`] that *measures* the property the scenario is
+//! designed to create — that the direct route requires climbing.
+//!
+//! # Example
+//!
+//! ```
+//! use scenic_core::sampler::Sampler;
+//!
+//! let world = scenic_mars::world();
+//! let scenario = scenic_core::compile_with_world(scenic_mars::BOTTLENECK, &world)?;
+//! let scene = Sampler::new(&scenario).sample_seeded(12)?;
+//! assert!(scene.objects.len() >= 9);
+//! # Ok::<(), scenic_core::ScenicError>(())
+//! ```
+
+pub mod planner;
+
+pub use planner::{plan, requires_climbing, GridPlan};
+
+use scenic_core::{Module, Value, World};
+use scenic_geom::{Region, Vec2};
+use std::rc::Rc;
+
+/// Half-extent of the square rubble-field workspace, meters.
+pub const WORKSPACE_HALF: f64 = 4.0;
+
+/// The `mars` library: object classes for the rubble field. Dimensions
+/// follow the scenario's needs (the rover is 1m wide; `halfGapWidth`
+/// scales off `ego.width`).
+pub const MARS_LIB_SOURCE: &str = "\
+class MarsObject:
+    position: Point on ground
+
+class Rover(MarsObject):
+    width: 1
+    height: 1
+
+class Goal(MarsObject):
+    width: 0.3
+    height: 0.3
+
+class BigRock(MarsObject):
+    width: 0.7
+    height: 0.7
+    climbable: True
+
+class Rock(MarsObject):
+    width: 0.35
+    height: 0.35
+    climbable: True
+
+class Pipe(MarsObject):
+    width: 0.2
+    height: (1, 2)
+    climbable: False
+";
+
+/// The bottleneck scenario of Fig. 22, verbatim.
+pub const BOTTLENECK: &str = "\
+ego = Rover at 0 @ -2
+goal = Goal at (-2, 2) @ (2, 2.5)
+
+halfGapWidth = (1.2 * ego.width) / 2
+bottleneck = OrientedPoint offset by (-1.5, 1.5) @ (0.5, 1.5), facing (-30, 30) deg
+require abs((angle to goal) - (angle to bottleneck)) <= 10 deg
+BigRock at bottleneck
+
+leftEnd = OrientedPoint left of bottleneck by halfGapWidth, facing (60, 120) deg relative to bottleneck
+rightEnd = OrientedPoint right of bottleneck by halfGapWidth, facing (-120, -60) deg relative to bottleneck
+Pipe ahead of leftEnd, with height (1, 2)
+Pipe ahead of rightEnd, with height (1, 2)
+
+BigRock beyond bottleneck by (-0.5, 0.5) @ (0.5, 1)
+BigRock beyond bottleneck by (-0.5, 0.5) @ (0.5, 1)
+Pipe
+Rock
+Rock
+Rock
+";
+
+/// Builds the Mars world: a square workspace with the `mars` library
+/// auto-imported (so scenarios may keep the paper's `import mars` line
+/// or omit it).
+pub fn world() -> World {
+    let ground = Region::rectangle(Vec2::ZERO, 2.0 * WORKSPACE_HALF, 2.0 * WORKSPACE_HALF);
+    let mut w = World::with_workspace(ground.clone());
+    let module = Module {
+        natives: vec![("ground".into(), Value::Region(Rc::new(ground)))],
+        source: Some(MARS_LIB_SOURCE.to_string()),
+    };
+    w.add_auto_module("mars", module.clone());
+    // Alias so `import mars` also resolves if not auto-imported.
+    w.add_module("marsLib", module);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenic_core::sampler::{Sampler, SamplerConfig};
+
+    #[test]
+    fn bottleneck_scenario_samples() {
+        let w = world();
+        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
+        let scene = Sampler::new(&scenario).sample_seeded(1).unwrap();
+        // Rover + goal + 3 BigRock + 3 Pipe + 3 Rock = 11 objects.
+        assert_eq!(scene.objects.len(), 11);
+        let classes: Vec<&str> = scene.objects.iter().map(|o| o.class.as_str()).collect();
+        assert_eq!(classes.iter().filter(|c| **c == "BigRock").count(), 3);
+        assert_eq!(classes.iter().filter(|c| **c == "Pipe").count(), 3);
+    }
+
+    #[test]
+    fn rover_and_goal_positions() {
+        let w = world();
+        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
+        let scene = Sampler::new(&scenario).sample_seeded(3).unwrap();
+        let rover = scene.ego();
+        assert_eq!(rover.position, [0.0, -2.0]);
+        let goal = scene.objects.iter().find(|o| o.class == "Goal").unwrap();
+        assert!((2.0..=2.5).contains(&goal.position[1]));
+        assert!((-2.0..=2.0).contains(&goal.position[0]));
+    }
+
+    #[test]
+    fn bottleneck_rock_is_roughly_between() {
+        // The `require` constrains the bottleneck to lie within 10° of
+        // the rover→goal bearing.
+        let w = world();
+        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
+        let mut sampler = Sampler::new(&scenario).with_seed(5);
+        for _ in 0..5 {
+            let scene = sampler.sample().unwrap();
+            let rover = scene.ego().position_vec();
+            let goal = scene
+                .objects
+                .iter()
+                .find(|o| o.class == "Goal")
+                .unwrap()
+                .position_vec();
+            let rock = scene
+                .objects
+                .iter()
+                .find(|o| o.class == "BigRock")
+                .unwrap()
+                .position_vec();
+            let to_goal = scenic_geom::Heading::of_vector(goal - rover);
+            let to_rock = scenic_geom::Heading::of_vector(rock - rover);
+            assert!(
+                to_goal.abs_difference(to_rock).to_degrees() <= 10.0 + 1e-6,
+                "rock not on the way to goal"
+            );
+        }
+    }
+
+    #[test]
+    fn everything_in_workspace() {
+        let w = world();
+        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
+        let mut sampler = Sampler::new(&scenario)
+            .with_seed(9)
+            .with_config(SamplerConfig {
+                max_iterations: 20_000,
+            });
+        let scene = sampler.sample().unwrap();
+        for obj in &scene.objects {
+            let p = obj.position_vec();
+            assert!(p.x.abs() <= WORKSPACE_HALF && p.y.abs() <= WORKSPACE_HALF);
+        }
+    }
+
+    #[test]
+    fn pipes_flank_the_gap() {
+        let w = world();
+        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
+        let scene = Sampler::new(&scenario).sample_seeded(7).unwrap();
+        let rock = scene
+            .objects
+            .iter()
+            .find(|o| o.class == "BigRock")
+            .unwrap()
+            .position_vec();
+        // The two flanking pipes (first two Pipe objects) start near the
+        // bottleneck (within a couple of meters).
+        let pipes: Vec<_> = scene
+            .objects
+            .iter()
+            .filter(|o| o.class == "Pipe")
+            .take(2)
+            .collect();
+        for pipe in pipes {
+            let d = pipe.position_vec().distance_to(rock);
+            assert!(d < 3.0, "flanking pipe {d}m from bottleneck");
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Pinhole camera model: scenes → image-space bounding boxes.
+//!
+//! The paper rendered scenes at 1920×1200 through GTAV and consumed them
+//! via squeezeDet's detections against ground-truth boxes. This module
+//! reproduces the information-bearing part of that pipeline: projecting
+//! each car's oriented footprint into a pixel-space box, with depth,
+//! apparent view angle, truncation, and (via [`crate::image`])
+//! occlusion — everything the detection experiments depend on.
+
+use scenic_core::SceneObject;
+use scenic_geom::{Heading, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned box in pixel coordinates (y grows downward).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PixelBox {
+    /// Left edge.
+    pub x_min: f64,
+    /// Top edge.
+    pub y_min: f64,
+    /// Right edge.
+    pub x_max: f64,
+    /// Bottom edge.
+    pub y_max: f64,
+}
+
+impl PixelBox {
+    /// Creates a box from corner coordinates (normalized so min ≤ max).
+    pub fn new(x_min: f64, y_min: f64, x_max: f64, y_max: f64) -> Self {
+        PixelBox {
+            x_min: x_min.min(x_max),
+            y_min: y_min.min(y_max),
+            x_max: x_min.max(x_max),
+            y_max: y_min.max(y_max),
+        }
+    }
+
+    /// Box area in pixels².
+    pub fn area(&self) -> f64 {
+        (self.x_max - self.x_min).max(0.0) * (self.y_max - self.y_min).max(0.0)
+    }
+
+    /// Box width.
+    pub fn width(&self) -> f64 {
+        self.x_max - self.x_min
+    }
+
+    /// Box height.
+    pub fn height(&self) -> f64 {
+        self.y_max - self.y_min
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f64, f64) {
+        (
+            (self.x_min + self.x_max) / 2.0,
+            (self.y_min + self.y_max) / 2.0,
+        )
+    }
+
+    /// Intersection area with another box.
+    pub fn intersection_area(&self, other: &PixelBox) -> f64 {
+        let w = (self.x_max.min(other.x_max) - self.x_min.max(other.x_min)).max(0.0);
+        let h = (self.y_max.min(other.y_max) - self.y_min.max(other.y_min)).max(0.0);
+        w * h
+    }
+
+    /// Intersection-over-union (the detection-matching metric of §6.1
+    /// and Appendix D).
+    pub fn iou(&self, other: &PixelBox) -> f64 {
+        let inter = self.intersection_area(other);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Clips to the image rectangle; `None` if nothing remains.
+    pub fn clipped(&self, width: f64, height: f64) -> Option<PixelBox> {
+        let b = PixelBox {
+            x_min: self.x_min.max(0.0),
+            y_min: self.y_min.max(0.0),
+            x_max: self.x_max.min(width),
+            y_max: self.y_max.min(height),
+        };
+        if b.x_max - b.x_min < 1.0 || b.y_max - b.y_min < 1.0 {
+            None
+        } else {
+            Some(b)
+        }
+    }
+
+    /// Translates and scales (used by the augmentation baseline).
+    pub fn transformed(&self, dx: f64, dy: f64, scale: f64) -> PixelBox {
+        let (cx, cy) = self.center();
+        let hw = self.width() / 2.0 * scale;
+        let hh = self.height() / 2.0 * scale;
+        PixelBox::new(cx + dx - hw, cy + dy - hh, cx + dx + hw, cy + dy + hh)
+    }
+}
+
+/// The camera: mounted on the ego car, looking along its heading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Camera position on the ground plane.
+    pub position: Vec2,
+    /// View direction.
+    pub heading: Heading,
+    /// Image width in pixels (the paper captured 1920×1200).
+    pub image_width: f64,
+    /// Image height in pixels.
+    pub image_height: f64,
+    /// Focal length in pixels.
+    pub focal: f64,
+    /// Camera height above the ground, meters.
+    pub camera_height: f64,
+    /// Near clipping depth, meters.
+    pub near: f64,
+    /// Far clipping depth, meters.
+    pub far: f64,
+}
+
+impl Camera {
+    /// The case-study capture settings (1920×1200, ~80° horizontal FOV
+    /// matching the `Car.viewAngle` default of the gtaLib library).
+    pub fn gta_default(position: Vec2, heading: Heading) -> Camera {
+        let image_width = 1920.0;
+        let fov: f64 = 80f64.to_radians();
+        Camera {
+            position,
+            heading,
+            image_width,
+            image_height: 1200.0,
+            focal: image_width / 2.0 / (fov / 2.0).tan(),
+            camera_height: 1.4,
+            near: 1.5,
+            far: 120.0,
+        }
+    }
+
+    /// A camera mounted at an ego object's windshield.
+    pub fn from_ego(ego: &SceneObject) -> Camera {
+        Camera::gta_default(ego.position_vec(), Heading(ego.heading))
+    }
+
+    /// Transforms a world point into camera coordinates:
+    /// `(lateral, depth)` with depth along the view direction.
+    pub fn to_camera_frame(&self, p: Vec2) -> (f64, f64) {
+        let local = (p - self.position).rotated(-self.heading.radians());
+        (local.x, local.y)
+    }
+
+    /// Projects a car into a pixel box plus metadata; `None` when fully
+    /// outside the frustum.
+    ///
+    /// The footprint corners project through a ground-plane pinhole
+    /// model: columns from lateral/depth, bottom rows from
+    /// `camera_height / depth`, top rows from the car body height above
+    /// ground.
+    pub fn project(&self, obj: &SceneObject) -> Option<Projected> {
+        let bb = obj.bounding_box();
+        let corners = bb.corners();
+        let mut any_in_front = false;
+        let mut u_min = f64::INFINITY;
+        let mut u_max = f64::NEG_INFINITY;
+        let mut d_min = f64::INFINITY;
+        let mut d_max: f64 = 0.0;
+        let body_height = body_height_for(obj);
+        let cx = self.image_width / 2.0;
+        let horizon = self.image_height * 0.45;
+        let mut v_bottom = f64::NEG_INFINITY;
+        let mut v_top = f64::INFINITY;
+        for corner in corners {
+            let (x, d) = self.to_camera_frame(corner);
+            if d < self.near {
+                continue;
+            }
+            any_in_front = true;
+            let u = cx + self.focal * (x / d);
+            u_min = u_min.min(u);
+            u_max = u_max.max(u);
+            d_min = d_min.min(d);
+            d_max = d_max.max(d);
+            v_bottom = v_bottom.max(horizon + self.focal * (self.camera_height / d));
+            v_top = v_top.min(horizon + self.focal * (self.camera_height - body_height) / d);
+        }
+        if !any_in_front || d_min > self.far {
+            return None;
+        }
+        let raw = PixelBox::new(u_min, v_top, u_max, v_bottom);
+        let clipped = raw.clipped(self.image_width, self.image_height)?;
+        let truncated = raw.area() > 0.0 && clipped.area() / raw.area() < 0.95;
+
+        // Apparent view angle: the car's heading relative to the line of
+        // sight (0 = viewed directly from behind).
+        let (x, d) = self.to_camera_frame(obj.position_vec());
+        let sight = Heading::of_vector((obj.position_vec() - self.position).normalized());
+        let view_angle = Heading(obj.heading).angle_to(sight);
+        let _ = (x, d);
+        Some(Projected {
+            bbox: clipped,
+            depth: d_min,
+            view_angle,
+            truncated,
+            body_height,
+        })
+    }
+}
+
+/// A projected car, before occlusion analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projected {
+    /// Pixel-space bounding box (clipped to the image).
+    pub bbox: PixelBox,
+    /// Depth of the nearest corner, meters.
+    pub depth: f64,
+    /// Heading relative to the line of sight, radians (0 = seen from
+    /// directly behind).
+    pub view_angle: f64,
+    /// Whether the box was clipped by the image border.
+    pub truncated: bool,
+    /// Body height used for the projection, meters.
+    pub body_height: f64,
+}
+
+/// Car body height above ground, by bounding-box footprint (buses are
+/// tall; everything else is a sedan-ish 1.4–1.8m).
+pub fn body_height_for(obj: &SceneObject) -> f64 {
+    if obj.height > 8.0 {
+        3.2 // bus
+    } else if obj.width > 2.05 {
+        1.9 // SUV / truck
+    } else {
+        1.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn car_at(x: f64, y: f64, heading: f64) -> SceneObject {
+        SceneObject {
+            id: 1,
+            class: "Car".into(),
+            is_ego: false,
+            position: [x, y],
+            heading,
+            width: 1.9,
+            height: 4.5,
+            properties: BTreeMap::new(),
+        }
+    }
+
+    fn camera() -> Camera {
+        Camera::gta_default(Vec2::ZERO, Heading::NORTH)
+    }
+
+    #[test]
+    fn pixel_box_iou() {
+        let a = PixelBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = PixelBox::new(5.0, 0.0, 15.0, 10.0);
+        assert!((a.iou(&b) - 50.0 / 150.0).abs() < 1e-9);
+        assert_eq!(a.iou(&a), 1.0);
+        let far = PixelBox::new(100.0, 100.0, 110.0, 110.0);
+        assert_eq!(a.iou(&far), 0.0);
+    }
+
+    #[test]
+    fn car_ahead_projects_centered() {
+        let cam = camera();
+        let p = cam.project(&car_at(0.0, 20.0, 0.0)).unwrap();
+        let (cx, _) = p.bbox.center();
+        assert!((cx - 960.0).abs() < 1.0, "center {cx}");
+        assert!(!p.truncated);
+        assert!((p.depth - (20.0 - 4.5 / 2.0)).abs() < 0.5);
+    }
+
+    #[test]
+    fn nearer_cars_have_bigger_boxes() {
+        let cam = camera();
+        let near = cam.project(&car_at(0.0, 10.0, 0.0)).unwrap();
+        let far = cam.project(&car_at(0.0, 40.0, 0.0)).unwrap();
+        assert!(near.bbox.area() > 4.0 * far.bbox.area());
+    }
+
+    #[test]
+    fn behind_camera_is_invisible() {
+        let cam = camera();
+        assert!(cam.project(&car_at(0.0, -20.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn left_car_projects_left() {
+        let cam = camera();
+        let p = cam.project(&car_at(-5.0, 20.0, 0.0)).unwrap();
+        let (cx, _) = p.bbox.center();
+        assert!(cx < 960.0, "center {cx}");
+    }
+
+    #[test]
+    fn side_view_is_wider() {
+        let cam = camera();
+        let rear = cam.project(&car_at(0.0, 20.0, 0.0)).unwrap();
+        let side = cam.project(&car_at(0.0, 20.0, 90f64.to_radians())).unwrap();
+        assert!(side.bbox.width() > 1.5 * rear.bbox.width());
+    }
+
+    #[test]
+    fn view_angle_semantics() {
+        let cam = camera();
+        // Car facing away from the camera: view angle ~ 0.
+        let away = cam.project(&car_at(0.0, 20.0, 0.0)).unwrap();
+        assert!(away.view_angle.abs() < 1e-9);
+        // Car facing the camera: view angle ~ 180°.
+        let toward = cam
+            .project(&car_at(0.0, 20.0, std::f64::consts::PI))
+            .unwrap();
+        assert!((toward.view_angle.abs() - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncation_at_frame_edge() {
+        let cam = camera();
+        // A car far to the side: partially out of frame.
+        let p = cam.project(&car_at(-16.5, 20.0, 0.0));
+        if let Some(p) = p {
+            assert!(p.truncated);
+        }
+    }
+
+    #[test]
+    fn clipping() {
+        let b = PixelBox::new(-10.0, -10.0, 50.0, 50.0);
+        let c = b.clipped(1920.0, 1200.0).unwrap();
+        assert_eq!(c.x_min, 0.0);
+        assert_eq!(c.y_min, 0.0);
+        let out = PixelBox::new(-100.0, 0.0, -10.0, 50.0);
+        assert!(out.clipped(1920.0, 1200.0).is_none());
+    }
+
+    #[test]
+    fn rotated_camera_tracks_heading() {
+        // Camera facing West sees a car placed to the West.
+        let cam = Camera::gta_default(Vec2::ZERO, Heading::from_degrees(90.0));
+        let p = cam
+            .project(&car_at(-20.0, 0.0, 90f64.to_radians()))
+            .unwrap();
+        let (cx, _) = p.bbox.center();
+        assert!((cx - 960.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Simulator interface layers: scene → simulator input format.
+//!
+//! §1 of the paper: using Scenic with a simulator requires "writing an
+//! interface layer converting the configurations output by Scenic into
+//! the simulator's input format". The paper built two: a DeepGTAV-based
+//! plugin ("the plugin calls internal functions of GTAV to create cars
+//! with the desired positions, colors, etc., as well as to set the
+//! camera position, time of day, and weather", §6.1) and a Webots
+//! interface for the Mars-rover domain (§3). This module emits both
+//! formats from a [`Scene`]:
+//!
+//! - [`to_gta_commands`]: the ordered command list a DeepGTAV-style
+//!   plugin would execute (JSON lines);
+//! - [`to_webots_world`]: a Webots `.wbt`-style world file with one
+//!   node per object.
+
+use scenic_core::{PropValue, Scene, SceneObject};
+
+/// One command for a DeepGTAV-style plugin.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "command", rename_all = "snake_case")]
+pub enum GtaCommand {
+    /// Set the time of day.
+    SetTime {
+        /// Hour (0–23).
+        hour: u32,
+        /// Minute (0–59).
+        minute: u32,
+    },
+    /// Set the weather.
+    SetWeather {
+        /// GTAV weather name.
+        weather: String,
+    },
+    /// Place the camera (on the ego car).
+    SetCamera {
+        /// World position `[x, y]`.
+        position: [f64; 2],
+        /// Heading in degrees.
+        heading_deg: f64,
+    },
+    /// Create a vehicle.
+    CreateVehicle {
+        /// Model name.
+        model: String,
+        /// World position `[x, y]`.
+        position: [f64; 2],
+        /// Heading in degrees.
+        heading_deg: f64,
+        /// RGB color in bytes.
+        color: [u8; 3],
+    },
+}
+
+fn color_bytes(obj: &SceneObject) -> [u8; 3] {
+    match obj.property("color") {
+        Some(PropValue::List(rgb)) if rgb.len() == 3 => {
+            let b = |i: usize| (rgb[i].as_number().unwrap_or(0.5) * 255.0) as u8;
+            [b(0), b(1), b(2)]
+        }
+        _ => [128, 128, 128],
+    }
+}
+
+fn model_name(obj: &SceneObject) -> String {
+    match obj.property("model") {
+        Some(PropValue::Map(m)) => m
+            .get("name")
+            .and_then(|n| n.as_str())
+            .unwrap_or(&obj.class)
+            .to_string(),
+        Some(PropValue::Str(s)) => s.clone(),
+        _ => obj.class.clone(),
+    }
+}
+
+/// Emits the ordered command list a DeepGTAV-style plugin would execute
+/// to realize the scene (§6.1's interface layer).
+pub fn to_gta_commands(scene: &Scene) -> Vec<GtaCommand> {
+    let mut commands = Vec::new();
+    let time = scene
+        .param("time")
+        .and_then(PropValue::as_number)
+        .unwrap_or(720.0)
+        .rem_euclid(1440.0);
+    commands.push(GtaCommand::SetTime {
+        hour: (time / 60.0) as u32 % 24,
+        minute: (time % 60.0) as u32,
+    });
+    commands.push(GtaCommand::SetWeather {
+        weather: scene
+            .param("weather")
+            .and_then(|p| p.as_str().map(str::to_string))
+            .unwrap_or_else(|| "CLEAR".to_string()),
+    });
+    let ego = scene.ego();
+    commands.push(GtaCommand::SetCamera {
+        position: ego.position,
+        heading_deg: ego.heading.to_degrees(),
+    });
+    for obj in scene.non_ego_objects() {
+        commands.push(GtaCommand::CreateVehicle {
+            model: model_name(obj),
+            position: obj.position,
+            heading_deg: obj.heading.to_degrees(),
+            color: color_bytes(obj),
+        });
+    }
+    commands
+}
+
+/// Serializes the command list as JSON lines (one command per line).
+pub fn to_gta_json_lines(scene: &Scene) -> String {
+    to_gta_commands(scene)
+        .iter()
+        .map(|c| serde_json::to_string(c).expect("command serializes"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Emits a Webots `.wbt`-style world file: one proto node per object,
+/// with translation, rotation, and size fields (the §3 robotics
+/// interface).
+pub fn to_webots_world(scene: &Scene) -> String {
+    let mut out = String::from(
+        "#VRML_SIM R2023 utf8\nWorldInfo {\n  basicTimeStep 16\n}\nViewpoint {\n  position 0 -12 8\n}\n",
+    );
+    for obj in &scene.objects {
+        let proto = match obj.class.as_str() {
+            "Rover" => "Robot",
+            "Goal" => "Flag",
+            "BigRock" | "Rock" => "Rock",
+            "Pipe" => "Pipe",
+            other => other,
+        };
+        out.push_str(&format!(
+            "{proto} {{\n  translation {:.4} {:.4} 0\n  rotation 0 0 1 {:.4}\n  size {:.3} {:.3}\n  name \"{}_{}\"\n}}\n",
+            obj.position[0],
+            obj.position[1],
+            obj.heading,
+            obj.width,
+            obj.height,
+            obj.class.to_lowercase(),
+            obj.id,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn scene() -> Scene {
+        let mut params = BTreeMap::new();
+        params.insert("time".into(), PropValue::Number(14.0 * 60.0 + 30.0));
+        params.insert("weather".into(), PropValue::Str("RAIN".into()));
+        let mut car_props = BTreeMap::new();
+        car_props.insert(
+            "model".into(),
+            PropValue::Map(
+                [
+                    ("name".to_string(), PropValue::Str("DOMINATOR".into())),
+                    ("width".to_string(), PropValue::Number(1.9)),
+                ]
+                .into_iter()
+                .collect(),
+            ),
+        );
+        car_props.insert(
+            "color".into(),
+            PropValue::List(vec![
+                PropValue::Number(1.0),
+                PropValue::Number(0.0),
+                PropValue::Number(0.5),
+            ]),
+        );
+        Scene {
+            params,
+            objects: vec![
+                SceneObject {
+                    id: 0,
+                    class: "EgoCar".into(),
+                    is_ego: true,
+                    position: [10.0, 20.0],
+                    heading: std::f64::consts::FRAC_PI_2,
+                    width: 1.8,
+                    height: 4.2,
+                    properties: BTreeMap::new(),
+                },
+                SceneObject {
+                    id: 1,
+                    class: "Car".into(),
+                    is_ego: false,
+                    position: [12.0, 40.0],
+                    heading: 0.1,
+                    width: 1.9,
+                    height: 4.9,
+                    properties: car_props,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn gta_commands_in_order() {
+        let cmds = to_gta_commands(&scene());
+        assert_eq!(cmds.len(), 4);
+        assert_eq!(
+            cmds[0],
+            GtaCommand::SetTime {
+                hour: 14,
+                minute: 30
+            }
+        );
+        assert_eq!(
+            cmds[1],
+            GtaCommand::SetWeather {
+                weather: "RAIN".into()
+            }
+        );
+        let GtaCommand::SetCamera {
+            position,
+            heading_deg,
+        } = &cmds[2]
+        else {
+            panic!("expected camera command");
+        };
+        assert_eq!(*position, [10.0, 20.0]);
+        assert!((heading_deg - 90.0).abs() < 1e-9);
+        let GtaCommand::CreateVehicle { model, color, .. } = &cmds[3] else {
+            panic!("expected vehicle command");
+        };
+        assert_eq!(model, "DOMINATOR");
+        assert_eq!(*color, [255, 0, 127]);
+    }
+
+    #[test]
+    fn gta_json_lines_round_trip() {
+        let lines = to_gta_json_lines(&scene());
+        assert_eq!(lines.lines().count(), 4);
+        for line in lines.lines() {
+            let cmd: GtaCommand = serde_json::from_str(line).unwrap();
+            let back = serde_json::to_string(&cmd).unwrap();
+            let again: GtaCommand = serde_json::from_str(&back).unwrap();
+            assert_eq!(cmd, again);
+        }
+    }
+
+    #[test]
+    fn webots_world_has_one_node_per_object() {
+        let mut s = scene();
+        s.objects[0].class = "Rover".into();
+        s.objects[1].class = "BigRock".into();
+        let wbt = to_webots_world(&s);
+        assert!(wbt.starts_with("#VRML_SIM"));
+        assert!(wbt.contains("Robot {"));
+        assert!(wbt.contains("Rock {"));
+        assert!(wbt.contains("name \"rover_0\""));
+        assert_eq!(wbt.matches("translation").count(), 2);
+    }
+
+    #[test]
+    fn missing_params_default_sanely() {
+        let mut s = scene();
+        s.params.clear();
+        let cmds = to_gta_commands(&s);
+        assert_eq!(
+            cmds[0],
+            GtaCommand::SetTime {
+                hour: 12,
+                minute: 0
+            }
+        );
+        assert_eq!(
+            cmds[1],
+            GtaCommand::SetWeather {
+                weather: "CLEAR".into()
+            }
+        );
+    }
+}

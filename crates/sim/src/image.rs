@@ -1,0 +1,291 @@
+//! Rendered images: labeled ground truth plus photometric context.
+//!
+//! The experiments of §6 consume images only through (a) ground-truth
+//! boxes and (b) the factors that make detection hard: distance, view
+//! angle, occlusion, lighting, weather, model, and color. A
+//! [`RenderedImage`] captures exactly that information for each scene —
+//! it is the "image" the synthetic detector (scenic-detect) looks at.
+
+use crate::camera::{Camera, PixelBox};
+use scenic_core::{PropValue, Scene};
+use serde::{Deserialize, Serialize};
+
+/// One labeled car in an image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenderedCar {
+    /// Ground-truth bounding box, pixels.
+    pub bbox: PixelBox,
+    /// Distance from the camera, meters.
+    pub depth: f64,
+    /// Heading relative to the line of sight, radians (0 = directly
+    /// from behind).
+    pub view_angle: f64,
+    /// Fraction of the box covered by nearer cars, `[0, 1]`.
+    pub occlusion: f64,
+    /// Whether the box is clipped by the image border.
+    pub truncated: bool,
+    /// Car model name.
+    pub model: String,
+    /// RGB color in `[0, 1]`.
+    pub color: [f64; 3],
+}
+
+/// A rendered scene: the ground truth of one synthetic image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenderedImage {
+    /// Image width in pixels.
+    pub width: f64,
+    /// Image height in pixels.
+    pub height: f64,
+    /// Cars visible in the frame, nearest first.
+    pub cars: Vec<RenderedCar>,
+    /// Scene darkness in `[0, 1]` (0 at noon, 1 at midnight).
+    pub darkness: f64,
+    /// Weather adversity in `[0, 1]`.
+    pub weather_severity: f64,
+    /// Weather name.
+    pub weather: String,
+    /// Time of day, minutes since midnight.
+    pub time: f64,
+}
+
+/// Weather adversity for perception, `[0, 1]` (0 = ideal). Matches the
+/// 14 GTAV weather types of §6.1.
+pub fn weather_severity(weather: &str) -> f64 {
+    match weather {
+        "EXTRASUNNY" | "CLEAR" => 0.0,
+        "CLEARING" | "NEUTRAL" => 0.15,
+        "CLOUDS" | "OVERCAST" => 0.25,
+        "SMOG" => 0.4,
+        "FOGGY" => 0.7,
+        "RAIN" => 0.65,
+        "THUNDER" => 0.8,
+        "SNOW" | "SNOWLIGHT" => 0.6,
+        "BLIZZARD" => 0.95,
+        "XMAS" => 0.5,
+        _ => 0.3,
+    }
+}
+
+/// Darkness from time-of-day in minutes: 0 at noon, 1 at midnight.
+pub fn darkness(time_minutes: f64) -> f64 {
+    let t = time_minutes.rem_euclid(1440.0);
+    (t - 720.0).abs() / 720.0
+}
+
+/// Renders a scene through the ego-mounted camera.
+///
+/// The ego itself is not rendered (it carries the camera). Cars are
+/// listed nearest-first; occlusion is computed against all nearer boxes
+/// by grid sampling.
+pub fn render_scene(scene: &Scene) -> RenderedImage {
+    let ego = scene.ego();
+    let camera = Camera::from_ego(ego);
+    render_scene_with_camera(scene, &camera)
+}
+
+/// Renders through an explicit camera.
+pub fn render_scene_with_camera(scene: &Scene, camera: &Camera) -> RenderedImage {
+    let time = scene
+        .param("time")
+        .and_then(PropValue::as_number)
+        .unwrap_or(720.0);
+    let weather = scene
+        .param("weather")
+        .and_then(|p| p.as_str().map(str::to_string))
+        .unwrap_or_else(|| "CLEAR".to_string());
+
+    let mut projected: Vec<(RenderedCar, PixelBox)> = Vec::new();
+    for obj in scene.non_ego_objects() {
+        let Some(p) = camera.project(obj) else {
+            continue;
+        };
+        let model = obj
+            .property("model")
+            .and_then(|m| match m {
+                PropValue::Map(map) => map.get("name").and_then(|n| n.as_str()).map(str::to_string),
+                PropValue::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| obj.class.clone());
+        let color = obj
+            .property("color")
+            .and_then(|c| match c {
+                PropValue::List(items) if items.len() == 3 => Some([
+                    items[0].as_number().unwrap_or(0.5),
+                    items[1].as_number().unwrap_or(0.5),
+                    items[2].as_number().unwrap_or(0.5),
+                ]),
+                _ => None,
+            })
+            .unwrap_or([0.5, 0.5, 0.5]);
+        projected.push((
+            RenderedCar {
+                bbox: p.bbox,
+                depth: p.depth,
+                view_angle: p.view_angle,
+                occlusion: 0.0,
+                truncated: p.truncated,
+                model,
+                color,
+            },
+            p.bbox,
+        ));
+    }
+    projected.sort_by(|a, b| a.0.depth.partial_cmp(&b.0.depth).unwrap());
+
+    // Occlusion: fraction of each box covered by strictly nearer boxes,
+    // estimated on a 24×24 grid.
+    let boxes: Vec<PixelBox> = projected.iter().map(|(_, b)| *b).collect();
+    let mut cars = Vec::with_capacity(projected.len());
+    for (i, (mut car, bbox)) in projected.into_iter().enumerate() {
+        car.occlusion = occluded_fraction(&bbox, &boxes[..i]);
+        cars.push(car);
+    }
+
+    RenderedImage {
+        width: camera.image_width,
+        height: camera.image_height,
+        cars,
+        darkness: darkness(time),
+        weather_severity: weather_severity(&weather),
+        weather,
+        time,
+    }
+}
+
+/// Fraction of `bbox` covered by the union of `covers` (grid-sampled).
+pub fn occluded_fraction(bbox: &PixelBox, covers: &[PixelBox]) -> f64 {
+    if covers.is_empty() || bbox.area() <= 0.0 {
+        return 0.0;
+    }
+    const N: usize = 24;
+    let mut hit = 0usize;
+    for i in 0..N {
+        for j in 0..N {
+            let x = bbox.x_min + (i as f64 + 0.5) / N as f64 * bbox.width();
+            let y = bbox.y_min + (j as f64 + 0.5) / N as f64 * bbox.height();
+            if covers
+                .iter()
+                .any(|c| x >= c.x_min && x <= c.x_max && y >= c.y_min && y <= c.y_max)
+            {
+                hit += 1;
+            }
+        }
+    }
+    hit as f64 / (N * N) as f64
+}
+
+/// The pairwise IoU of the two nearest ground-truth boxes (the Fig. 36
+/// statistic for two-car images); 0 when fewer than two cars are
+/// visible.
+pub fn pair_iou(image: &RenderedImage) -> f64 {
+    if image.cars.len() < 2 {
+        return 0.0;
+    }
+    image.cars[0].bbox.iou(&image.cars[1].bbox)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenic_core::SceneObject;
+    use std::collections::BTreeMap;
+
+    fn scene_with_cars(cars: &[(f64, f64, f64)]) -> Scene {
+        let mut objects = vec![SceneObject {
+            id: 0,
+            class: "EgoCar".into(),
+            is_ego: true,
+            position: [0.0, 0.0],
+            heading: 0.0,
+            width: 1.8,
+            height: 4.2,
+            properties: BTreeMap::new(),
+        }];
+        for (i, &(x, y, h)) in cars.iter().enumerate() {
+            objects.push(SceneObject {
+                id: i + 1,
+                class: "Car".into(),
+                is_ego: false,
+                position: [x, y],
+                heading: h,
+                width: 1.9,
+                height: 4.5,
+                properties: BTreeMap::new(),
+            });
+        }
+        let mut params = BTreeMap::new();
+        params.insert("time".into(), PropValue::Number(720.0));
+        params.insert("weather".into(), PropValue::Str("CLEAR".into()));
+        Scene { params, objects }
+    }
+
+    #[test]
+    fn renders_visible_cars_nearest_first() {
+        let scene = scene_with_cars(&[(0.0, 30.0, 0.0), (2.0, 12.0, 0.0)]);
+        let img = render_scene(&scene);
+        assert_eq!(img.cars.len(), 2);
+        assert!(img.cars[0].depth < img.cars[1].depth);
+    }
+
+    #[test]
+    fn culls_cars_behind_camera() {
+        let scene = scene_with_cars(&[(0.0, -10.0, 0.0), (0.0, 15.0, 0.0)]);
+        let img = render_scene(&scene);
+        assert_eq!(img.cars.len(), 1);
+    }
+
+    #[test]
+    fn occlusion_detected_for_lined_up_cars() {
+        // Directly behind one another: the far car is heavily occluded.
+        let scene = scene_with_cars(&[(0.0, 10.0, 0.0), (0.3, 18.0, 0.0)]);
+        let img = render_scene(&scene);
+        assert_eq!(img.cars.len(), 2);
+        assert_eq!(img.cars[0].occlusion, 0.0, "near car unoccluded");
+        assert!(
+            img.cars[1].occlusion > 0.5,
+            "far car occlusion {}",
+            img.cars[1].occlusion
+        );
+    }
+
+    #[test]
+    fn laterally_separated_cars_unoccluded() {
+        let scene = scene_with_cars(&[(-6.0, 20.0, 0.0), (6.0, 20.0, 0.0)]);
+        let img = render_scene(&scene);
+        assert_eq!(img.cars.len(), 2);
+        assert!(img.cars.iter().all(|c| c.occlusion < 0.05));
+    }
+
+    #[test]
+    fn darkness_and_weather() {
+        assert_eq!(darkness(720.0), 0.0);
+        assert_eq!(darkness(0.0), 1.0);
+        assert!((darkness(1080.0) - 0.5).abs() < 1e-9);
+        assert!(weather_severity("RAIN") > weather_severity("EXTRASUNNY"));
+        let scene = scene_with_cars(&[(0.0, 15.0, 0.0)]);
+        let img = render_scene(&scene);
+        assert_eq!(img.darkness, 0.0);
+        assert_eq!(img.weather_severity, 0.0);
+    }
+
+    #[test]
+    fn pair_iou_overlapping_vs_separated() {
+        let overlapping = render_scene(&scene_with_cars(&[(0.0, 10.0, 0.0), (0.5, 16.0, 0.0)]));
+        let separated = render_scene(&scene_with_cars(&[(-6.0, 20.0, 0.0), (6.0, 20.0, 0.0)]));
+        assert!(pair_iou(&overlapping) > 0.1);
+        assert_eq!(pair_iou(&separated), 0.0);
+    }
+
+    #[test]
+    fn occluded_fraction_bounds() {
+        let b = PixelBox::new(0.0, 0.0, 100.0, 100.0);
+        assert_eq!(occluded_fraction(&b, &[]), 0.0);
+        let full = PixelBox::new(-10.0, -10.0, 110.0, 110.0);
+        assert_eq!(occluded_fraction(&b, &[full]), 1.0);
+        let half = PixelBox::new(0.0, 0.0, 50.0, 100.0);
+        let f = occluded_fraction(&b, &[half]);
+        assert!((f - 0.5).abs() < 0.05, "{f}");
+    }
+}

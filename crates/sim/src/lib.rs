@@ -1,0 +1,43 @@
+//! # scenic-sim
+//!
+//! The simulator substrate of the Scenic reproduction: the interface
+//! layer that turns sampled [`scenic_core::Scene`]s into labeled
+//! synthetic "images" (§2's tool flow: Scenic → scenes → simulator →
+//! data), plus the detection metrics of §6.1.
+//!
+//! The paper rendered scenes through GTAV; per the substitution rule we
+//! render the *information* the experiments consume — pixel-space
+//! ground-truth boxes with depth, view angle, occlusion, lighting,
+//! weather, model, and color — through a pinhole [`camera`], and also
+//! provide human-viewable [`render`]ings (PPM driver views, top-down
+//! maps, ASCII previews).
+//!
+//! # Example
+//!
+//! ```
+//! use scenic_core::sampler::Sampler;
+//!
+//! let scenario = scenic_core::compile(
+//!     "ego = Object at 0 @ 0, with width 1.8, with height 4.2\n\
+//!      Object at 0 @ (10, 30), with width 1.9, with height 4.5\n",
+//! )?;
+//! let scene = Sampler::new(&scenario).sample_seeded(5)?;
+//! let image = scenic_sim::render_scene(&scene);
+//! assert_eq!(image.cars.len(), 1);
+//! # Ok::<(), scenic_core::ScenicError>(())
+//! ```
+
+pub mod camera;
+pub mod export;
+pub mod image;
+pub mod metrics;
+pub mod render;
+
+pub use camera::{Camera, PixelBox, Projected};
+pub use export::{to_gta_commands, to_gta_json_lines, to_webots_world, GtaCommand};
+pub use image::{pair_iou, render_scene, render_scene_with_camera, RenderedCar, RenderedImage};
+pub use metrics::{
+    average_precision, evaluate_dataset, match_detections, mean_std, DatasetMetrics, Detection,
+    MatchCounts, IOU_THRESHOLD,
+};
+pub use render::{ascii_view, driver_view, top_down, Raster};

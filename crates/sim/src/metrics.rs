@@ -1,0 +1,321 @@
+//! Detection metrics: precision, recall, and AP (§6.1, Appendix D).
+//!
+//! "Precision is defined as tp/(tp + fp) and recall as tp/(tp + fn),
+//! where true positives tp is the number of correct detections, false
+//! positives fp is the number of predicted boxes that do not match any
+//! ground truth box, and false negatives fn is the number of ground
+//! truth boxes that are not detected. … We adopt the common practice of
+//! considering B_ŷ a detection for B_gt if IoU(B_gt, B_ŷ) > 0.5."
+//! Average precision (AP) follows the all-points interpolation used by
+//! the paper's reference tool \[4\].
+
+use crate::camera::PixelBox;
+use serde::{Deserialize, Serialize};
+
+/// The IoU threshold for a predicted box to count as a detection.
+pub const IOU_THRESHOLD: f64 = 0.5;
+
+/// One predicted box with a confidence score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Predicted box.
+    pub bbox: PixelBox,
+    /// Confidence in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Match outcome on one image.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchCounts {
+    /// Correct detections.
+    pub tp: usize,
+    /// Predictions matching no ground truth.
+    pub fp: usize,
+    /// Ground truths left undetected.
+    pub fn_: usize,
+}
+
+impl MatchCounts {
+    /// Precision `tp / (tp + fp)`; 1 when there are no predictions.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1 when there is no ground truth.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Accumulates another image's counts.
+    pub fn add(&mut self, other: MatchCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+/// Greedily matches detections (score-descending) to ground-truth boxes
+/// at IoU > 0.5, each ground truth matched at most once.
+pub fn match_detections(detections: &[Detection], ground_truth: &[PixelBox]) -> MatchCounts {
+    let mut order: Vec<usize> = (0..detections.len()).collect();
+    order.sort_by(|&a, &b| {
+        detections[b]
+            .score
+            .partial_cmp(&detections[a].score)
+            .unwrap()
+    });
+    let mut matched = vec![false; ground_truth.len()];
+    let mut tp = 0;
+    let mut fp = 0;
+    for di in order {
+        let det = &detections[di];
+        let best = ground_truth
+            .iter()
+            .enumerate()
+            .filter(|(gi, _)| !matched[*gi])
+            .map(|(gi, gt)| (gi, det.bbox.iou(gt)))
+            .filter(|(_, iou)| *iou > IOU_THRESHOLD)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        match best {
+            Some((gi, _)) => {
+                matched[gi] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+    }
+    let fn_ = matched.iter().filter(|m| !**m).count();
+    MatchCounts { tp, fp, fn_ }
+}
+
+/// Per-image precision/recall averaged over a test set — the metric of
+/// §6.1 ("we use average precision and recall to evaluate the
+/// performance of a model on a collection of images").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DatasetMetrics {
+    /// Mean per-image precision, percent.
+    pub precision: f64,
+    /// Mean per-image recall, percent.
+    pub recall: f64,
+    /// Images evaluated.
+    pub images: usize,
+}
+
+/// Evaluates a set of `(detections, ground truth)` pairs.
+pub fn evaluate_dataset(per_image: &[(Vec<Detection>, Vec<PixelBox>)]) -> DatasetMetrics {
+    if per_image.is_empty() {
+        return DatasetMetrics::default();
+    }
+    let mut precision = 0.0;
+    let mut recall = 0.0;
+    for (dets, gts) in per_image {
+        let counts = match_detections(dets, gts);
+        precision += counts.precision();
+        recall += counts.recall();
+    }
+    let n = per_image.len() as f64;
+    DatasetMetrics {
+        precision: 100.0 * precision / n,
+        recall: 100.0 * recall / n,
+        images: per_image.len(),
+    }
+}
+
+/// Average Precision over a whole dataset (Table 9's metric): rank all
+/// detections by score, sweep the precision/recall curve, integrate
+/// with all-points interpolation.
+pub fn average_precision(per_image: &[(Vec<Detection>, Vec<PixelBox>)]) -> f64 {
+    // (score, is_tp) for every detection, matched greedily per image.
+    let mut records: Vec<(f64, bool)> = Vec::new();
+    let mut total_gt = 0usize;
+    for (dets, gts) in per_image {
+        total_gt += gts.len();
+        let mut order: Vec<usize> = (0..dets.len()).collect();
+        order.sort_by(|&a, &b| dets[b].score.partial_cmp(&dets[a].score).unwrap());
+        let mut matched = vec![false; gts.len()];
+        for di in order {
+            let det = &dets[di];
+            let best = gts
+                .iter()
+                .enumerate()
+                .filter(|(gi, _)| !matched[*gi])
+                .map(|(gi, gt)| (gi, det.bbox.iou(gt)))
+                .filter(|(_, iou)| *iou > IOU_THRESHOLD)
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            match best {
+                Some((gi, _)) => {
+                    matched[gi] = true;
+                    records.push((det.score, true));
+                }
+                None => records.push((det.score, false)),
+            }
+        }
+    }
+    if total_gt == 0 {
+        return 0.0;
+    }
+    records.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut curve: Vec<(f64, f64)> = Vec::with_capacity(records.len());
+    for (_, is_tp) in &records {
+        if *is_tp {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+        let recall = tp as f64 / total_gt as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        curve.push((recall, precision));
+    }
+    // All-points interpolation: make precision monotone from the right,
+    // then integrate over recall.
+    for i in (0..curve.len().saturating_sub(1)).rev() {
+        curve[i].1 = curve[i].1.max(curve[i + 1].1);
+    }
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for (recall, precision) in curve {
+        ap += (recall - prev_recall) * precision;
+        prev_recall = recall;
+    }
+    100.0 * ap
+}
+
+/// Mean and sample standard deviation of a series (used for the
+/// "± x.x" columns of Tables 6, 9, and 10).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bx(x: f64, y: f64, w: f64, h: f64) -> PixelBox {
+        PixelBox::new(x, y, x + w, y + h)
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let gt = vec![bx(10.0, 10.0, 50.0, 40.0)];
+        let dets = vec![Detection {
+            bbox: bx(10.0, 10.0, 50.0, 40.0),
+            score: 0.9,
+        }];
+        let m = match_detections(&dets, &gt);
+        assert_eq!((m.tp, m.fp, m.fn_), (1, 0, 0));
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn shifted_box_below_threshold_is_fp_and_fn() {
+        let gt = vec![bx(0.0, 0.0, 40.0, 40.0)];
+        let dets = vec![Detection {
+            bbox: bx(35.0, 35.0, 40.0, 40.0),
+            score: 0.9,
+        }];
+        let m = match_detections(&dets, &gt);
+        assert_eq!((m.tp, m.fp, m.fn_), (0, 1, 1));
+    }
+
+    #[test]
+    fn each_gt_matched_once() {
+        // Two detections on one ground truth: one TP, one FP.
+        let gt = vec![bx(0.0, 0.0, 40.0, 40.0)];
+        let dets = vec![
+            Detection {
+                bbox: bx(1.0, 1.0, 40.0, 40.0),
+                score: 0.9,
+            },
+            Detection {
+                bbox: bx(2.0, 2.0, 40.0, 40.0),
+                score: 0.8,
+            },
+        ];
+        let m = match_detections(&dets, &gt);
+        assert_eq!((m.tp, m.fp, m.fn_), (1, 1, 0));
+    }
+
+    #[test]
+    fn dataset_averaging() {
+        let perfect = (
+            vec![Detection {
+                bbox: bx(0.0, 0.0, 40.0, 40.0),
+                score: 1.0,
+            }],
+            vec![bx(0.0, 0.0, 40.0, 40.0)],
+        );
+        let miss = (Vec::new(), vec![bx(0.0, 0.0, 40.0, 40.0)]);
+        let m = evaluate_dataset(&[perfect, miss]);
+        assert_eq!(m.images, 2);
+        // Precision: (1.0 + 1.0 [no predictions]) / 2 = 100%.
+        assert!((m.precision - 100.0).abs() < 1e-9);
+        // Recall: (1.0 + 0.0) / 2 = 50%.
+        assert!((m.recall - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ap_perfect_is_100() {
+        let data = vec![(
+            vec![Detection {
+                bbox: bx(0.0, 0.0, 40.0, 40.0),
+                score: 0.9,
+            }],
+            vec![bx(0.0, 0.0, 40.0, 40.0)],
+        )];
+        assert!((average_precision(&data) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ap_penalizes_high_scoring_fps() {
+        // A high-scoring FP before the TP halves early precision.
+        let data = vec![(
+            vec![
+                Detection {
+                    bbox: bx(500.0, 500.0, 40.0, 40.0),
+                    score: 0.95,
+                },
+                Detection {
+                    bbox: bx(0.0, 0.0, 40.0, 40.0),
+                    score: 0.9,
+                },
+            ],
+            vec![bx(0.0, 0.0, 40.0, 40.0)],
+        )];
+        let ap = average_precision(&data);
+        assert!((ap - 50.0).abs() < 1e-9, "ap {ap}");
+    }
+
+    #[test]
+    fn ap_empty_gt_is_zero() {
+        assert_eq!(average_precision(&[(Vec::new(), Vec::new())]), 0.0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - 2.138089935299395).abs() < 1e-9);
+        let (m1, s1) = mean_std(&[3.0]);
+        assert_eq!((m1, s1), (3.0, 0.0));
+    }
+}

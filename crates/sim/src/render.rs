@@ -1,0 +1,297 @@
+//! Raster rendering: PPM images and ASCII previews.
+//!
+//! The paper's figures show driver-view screenshots and top-down
+//! workspaces. We render both from scenes: a stylized driver view
+//! (sky/ground with depth-shaded car boxes, lighting and weather tint)
+//! and a top-down map view. These are for human inspection — the
+//! detector consumes [`crate::image::RenderedImage`] directly.
+
+use crate::image::RenderedImage;
+use scenic_core::Scene;
+use scenic_geom::{Aabb, Polygon, Vec2};
+use std::io::Write;
+use std::path::Path;
+
+/// A simple RGB raster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Raster {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    data: Vec<u8>,
+}
+
+impl Raster {
+    /// A raster filled with one color.
+    pub fn filled(width: usize, height: usize, color: [u8; 3]) -> Raster {
+        let mut data = Vec::with_capacity(width * height * 3);
+        for _ in 0..width * height {
+            data.extend_from_slice(&color);
+        }
+        Raster {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Sets one pixel (ignores out-of-range coordinates).
+    pub fn set(&mut self, x: i64, y: i64, color: [u8; 3]) {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return;
+        }
+        let idx = (y as usize * self.width + x as usize) * 3;
+        self.data[idx..idx + 3].copy_from_slice(&color);
+    }
+
+    /// Reads one pixel.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        let idx = (y * self.width + x) * 3;
+        [self.data[idx], self.data[idx + 1], self.data[idx + 2]]
+    }
+
+    /// Fills an axis-aligned rectangle.
+    pub fn fill_rect(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, color: [u8; 3]) {
+        for y in y0.max(0.0) as i64..=(y1.min(self.height as f64 - 1.0)) as i64 {
+            for x in x0.max(0.0) as i64..=(x1.min(self.width as f64 - 1.0)) as i64 {
+                self.set(x, y, color);
+            }
+        }
+    }
+
+    /// Fills a convex-ish polygon by scanline containment.
+    pub fn fill_polygon(
+        &mut self,
+        poly: &Polygon,
+        color: [u8; 3],
+        to_px: impl Fn(Vec2) -> (f64, f64),
+    ) {
+        // Rasterize via the polygon's pixel-space bounding box.
+        let pts: Vec<(f64, f64)> = poly.vertices().iter().map(|&v| to_px(v)).collect();
+        let (min_x, max_x) = pts
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+                (lo.min(p.0), hi.max(p.0))
+            });
+        let (min_y, max_y) = pts
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+                (lo.min(p.1), hi.max(p.1))
+            });
+        let px_poly = Polygon::new(pts.iter().map(|&(x, y)| Vec2::new(x, y)).collect());
+        for y in min_y.max(0.0) as i64..=(max_y.min(self.height as f64 - 1.0)) as i64 {
+            for x in min_x.max(0.0) as i64..=(max_x.min(self.width as f64 - 1.0)) as i64 {
+                if px_poly.contains(Vec2::new(x as f64 + 0.5, y as f64 + 0.5)) {
+                    self.set(x, y, color);
+                }
+            }
+        }
+    }
+
+    /// Writes a binary PPM (P6) file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file creation or writing.
+    pub fn save_ppm(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        write!(f, "P6\n{} {}\n255\n", self.width, self.height)?;
+        f.write_all(&self.data)?;
+        Ok(())
+    }
+}
+
+fn shade(color: [f64; 3], brightness: f64) -> [u8; 3] {
+    [
+        (color[0] * brightness * 255.0).clamp(0.0, 255.0) as u8,
+        (color[1] * brightness * 255.0).clamp(0.0, 255.0) as u8,
+        (color[2] * brightness * 255.0).clamp(0.0, 255.0) as u8,
+    ]
+}
+
+/// Renders the stylized driver view of a rendered image.
+pub fn driver_view(image: &RenderedImage, width: usize, height: usize) -> Raster {
+    let brightness = (1.0 - 0.8 * image.darkness) * (1.0 - 0.4 * image.weather_severity);
+    let sky = shade([0.45, 0.65, 0.95], brightness);
+    let ground = shade([0.35, 0.35, 0.37], brightness);
+    let mut raster = Raster::filled(width, height, sky);
+    let horizon = (height as f64 * 0.45) as i64;
+    for y in horizon..height as i64 {
+        for x in 0..width as i64 {
+            raster.set(x, y, ground);
+        }
+    }
+    let sx = width as f64 / image.width;
+    let sy = height as f64 / image.height;
+    // Paint far-to-near so nearer cars overdraw (correct occlusion).
+    for car in image.cars.iter().rev() {
+        let fade = (1.0 - car.depth / 150.0).clamp(0.3, 1.0);
+        let color = shade(car.color, brightness * fade);
+        raster.fill_rect(
+            car.bbox.x_min * sx,
+            car.bbox.y_min * sy,
+            car.bbox.x_max * sx,
+            car.bbox.y_max * sy,
+            color,
+        );
+    }
+    raster
+}
+
+/// Renders a top-down view of a scene over optional background polygons
+/// (e.g. the road map), covering `bounds`.
+pub fn top_down(
+    scene: &Scene,
+    background: &[Polygon],
+    bounds: Aabb,
+    width: usize,
+    height: usize,
+) -> Raster {
+    let mut raster = Raster::filled(width, height, [230, 230, 225]);
+    let to_px = |v: Vec2| {
+        (
+            (v.x - bounds.min.x) / bounds.width() * width as f64,
+            // Flip y: North is up.
+            (bounds.max.y - v.y) / bounds.height() * height as f64,
+        )
+    };
+    for poly in background {
+        raster.fill_polygon(poly, [160, 160, 160], to_px);
+    }
+    for obj in &scene.objects {
+        let color = if obj.is_ego {
+            [220, 40, 40]
+        } else {
+            [30, 60, 200]
+        };
+        raster.fill_polygon(&obj.bounding_box().to_polygon(), color, to_px);
+    }
+    raster
+}
+
+/// An ASCII preview of the driver view (for terminal examples): `#`
+/// marks car pixels, `-` the horizon.
+pub fn ascii_view(image: &RenderedImage, cols: usize, rows: usize) -> String {
+    let mut grid = vec![vec![' '; cols]; rows];
+    let horizon_row = (rows as f64 * 0.45) as usize;
+    if horizon_row < rows {
+        for cell in &mut grid[horizon_row] {
+            *cell = '-';
+        }
+    }
+    for car in image.cars.iter().rev() {
+        let x0 = (car.bbox.x_min / image.width * cols as f64) as usize;
+        let x1 = (car.bbox.x_max / image.width * cols as f64) as usize;
+        let y0 = (car.bbox.y_min / image.height * rows as f64) as usize;
+        let y1 = (car.bbox.y_max / image.height * rows as f64) as usize;
+        let glyph = if car.depth < 15.0 { '#' } else { '+' };
+        for row in grid
+            .iter_mut()
+            .take(y1.min(rows - 1) + 1)
+            .skip(y0.min(rows - 1))
+        {
+            for cell in row
+                .iter_mut()
+                .take(x1.min(cols - 1) + 1)
+                .skip(x0.min(cols - 1))
+            {
+                *cell = glyph;
+            }
+        }
+    }
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>() + "\n")
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::PixelBox;
+    use crate::image::RenderedCar;
+
+    fn demo_image() -> RenderedImage {
+        RenderedImage {
+            width: 1920.0,
+            height: 1200.0,
+            cars: vec![RenderedCar {
+                bbox: PixelBox::new(800.0, 500.0, 1100.0, 700.0),
+                depth: 12.0,
+                view_angle: 0.0,
+                occlusion: 0.0,
+                truncated: false,
+                model: "BLISTA".into(),
+                color: [0.9, 0.1, 0.1],
+            }],
+            darkness: 0.0,
+            weather_severity: 0.0,
+            weather: "CLEAR".into(),
+            time: 720.0,
+        }
+    }
+
+    #[test]
+    fn driver_view_paints_car() {
+        let raster = driver_view(&demo_image(), 192, 120);
+        // Center of the car's box should be reddish.
+        let px = raster.get(95, 60);
+        assert!(px[0] > 150 && px[1] < 100, "pixel {px:?}");
+        // Sky stays blue.
+        let sky = raster.get(10, 5);
+        assert!(sky[2] > sky[0], "sky {sky:?}");
+    }
+
+    #[test]
+    fn night_is_darker() {
+        let mut img = demo_image();
+        let day = driver_view(&img, 64, 40);
+        img.darkness = 1.0;
+        let night = driver_view(&img, 64, 40);
+        let d = day.get(5, 5);
+        let n = night.get(5, 5);
+        assert!(n[2] < d[2], "night sky {n:?} vs day {d:?}");
+    }
+
+    #[test]
+    fn ascii_view_contains_car() {
+        let art = ascii_view(&demo_image(), 80, 24);
+        assert!(art.contains('#'), "{art}");
+        assert!(art.contains('-'));
+        assert_eq!(art.lines().count(), 24);
+    }
+
+    #[test]
+    fn ppm_roundtrip_header() {
+        let raster = Raster::filled(8, 4, [1, 2, 3]);
+        let dir = std::env::temp_dir().join("scenic_render_test.ppm");
+        raster.save_ppm(&dir).unwrap();
+        let bytes = std::fs::read(&dir).unwrap();
+        assert!(bytes.starts_with(b"P6\n8 4\n255\n"));
+        assert_eq!(bytes.len(), 11 + 8 * 4 * 3);
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn top_down_draws_ego_red() {
+        use scenic_core::{PropValue, SceneObject};
+        use std::collections::BTreeMap;
+        let scene = Scene {
+            params: BTreeMap::<String, PropValue>::new(),
+            objects: vec![SceneObject {
+                id: 0,
+                class: "Car".into(),
+                is_ego: true,
+                position: [50.0, 50.0],
+                heading: 0.0,
+                width: 10.0,
+                height: 20.0,
+                properties: BTreeMap::new(),
+            }],
+        };
+        let bounds = Aabb::new(Vec2::ZERO, Vec2::new(100.0, 100.0));
+        let raster = top_down(&scene, &[], bounds, 100, 100);
+        let px = raster.get(50, 50);
+        assert!(px[0] > 150 && px[2] < 100, "{px:?}");
+    }
+}

@@ -1,0 +1,45 @@
+//! The badly-parked-car scenario (paper §3, Fig. 3, Appendix A.4).
+//!
+//! Demonstrates specifiers composing: `on visible curb` picks an
+//! oriented spot on the curb, `left of spot by 0.5` offsets away from
+//! it, and `facing badAngle relative to roadDirection` misaligns the
+//! car 10–20°. Writes top-down PPM renderings next to the target dir.
+//!
+//! Run with `cargo run --example badly_parked`.
+
+use scenic::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = scenic::gta::World::generate(scenic::gta::MapConfig::default());
+    let scenario = compile_with_world(scenic::gta::scenarios::BADLY_PARKED, world.core())?;
+    let mut sampler = Sampler::new(&scenario).with_seed(3);
+
+    let out_dir = std::path::Path::new("target/examples");
+    std::fs::create_dir_all(out_dir)?;
+
+    for i in 0..3 {
+        let scene = sampler.sample()?;
+        let parked = scene.non_ego_objects().next().expect("parked car");
+        // How badly parked? Compare against the local road direction.
+        let road_heading = world
+            .map
+            .road_direction()
+            .at(parked.position_vec())
+            .radians();
+        let off = (parked.heading - road_heading).to_degrees().abs();
+        println!(
+            "scene {i}: car parked at ({:.1}, {:.1}), {:.1}° off the curb direction",
+            parked.position[0], parked.position[1], off
+        );
+
+        let bounds = scenic::geom::Aabb::new(
+            scene.ego().position_vec() - Vec2::new(25.0, 25.0),
+            scene.ego().position_vec() + Vec2::new(25.0, 25.0),
+        );
+        let raster = scenic::sim::top_down(&scene, &world.map.road_polygons(), bounds, 400, 400);
+        let path = out_dir.join(format!("badly_parked_{i}.ppm"));
+        raster.save_ppm(&path)?;
+        println!("  wrote {}", path.display());
+    }
+    Ok(())
+}

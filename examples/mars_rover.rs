@@ -1,0 +1,45 @@
+//! Robot motion planning with a bottleneck (paper §3, Fig. 4/22/23):
+//! rubble-field workspaces where the direct route to the goal forces
+//! the planner to consider climbing over a rock.
+//!
+//! Run with `cargo run --example mars_rover`.
+
+use scenic::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = scenic::mars::world();
+    let scenario = compile_with_world(scenic::mars::BOTTLENECK, &world)?;
+    let mut sampler = Sampler::new(&scenario).with_seed(8);
+
+    let out_dir = std::path::Path::new("target/examples");
+    std::fs::create_dir_all(out_dir)?;
+
+    let mut challenging = 0;
+    let n = 5;
+    for i in 0..n {
+        let scene = sampler.sample()?;
+        let climb = scenic::mars::plan(&scene, scenic::mars::WORKSPACE_HALF, true);
+        let around = scenic::mars::plan(&scene, scenic::mars::WORKSPACE_HALF, false);
+        let forced = scenic::mars::requires_climbing(&scene, scenic::mars::WORKSPACE_HALF, 1.15);
+        if forced {
+            challenging += 1;
+        }
+        println!(
+            "workspace {i}: climbing route {:?}m, rock-free route {:?}m → {}",
+            climb.as_ref().map(|p| (p.length * 10.0).round() / 10.0),
+            around.as_ref().map(|p| (p.length * 10.0).round() / 10.0),
+            if forced {
+                "must climb (or detour hard)"
+            } else {
+                "easy"
+            }
+        );
+
+        let bounds = scenic::geom::Aabb::new(Vec2::new(-4.0, -4.0), Vec2::new(4.0, 4.0));
+        let raster = scenic::sim::top_down(&scene, &[], bounds, 400, 400);
+        let path = out_dir.join(format!("mars_{i}.ppm"));
+        raster.save_ppm(&path)?;
+    }
+    println!("{challenging}/{n} generated workspaces force the planner to consider climbing");
+    Ok(())
+}

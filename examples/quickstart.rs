@@ -1,0 +1,57 @@
+//! Quickstart: compile a Scenic scenario, sample scenes, inspect them.
+//!
+//! Mirrors §3's opening example — two cars on the road, one being the
+//! ego — and shows the scene both as JSON (the simulator interface
+//! format) and as an ASCII driver view.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use scenic::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The world substitutes for the GTAV map: a procedurally generated
+    // city exposing `road`, `curb`, and `roadDirection` (see DESIGN.md).
+    let world = scenic::gta::World::generate(scenic::gta::MapConfig::default());
+
+    // The simplest possible scenario (paper §3 / A.2).
+    let source = "\
+ego = Car
+Car
+";
+    let scenario = compile_with_world(source, world.core())?;
+    let mut sampler = Sampler::new(&scenario).with_seed(2019);
+
+    for i in 0..3 {
+        let scene = sampler.sample()?;
+        println!("=== scene {i} ===");
+        for obj in &scene.objects {
+            let tag = if obj.is_ego { " (ego)" } else { "" };
+            println!(
+                "  {}{} at ({:.1}, {:.1}) heading {:.1}°",
+                obj.class,
+                tag,
+                obj.position[0],
+                obj.position[1],
+                obj.heading.to_degrees()
+            );
+        }
+        let image = scenic::sim::render_scene(&scene);
+        println!(
+            "  rendered: {} car(s) in frame, weather {}, {:02.0}:{:02.0}",
+            image.cars.len(),
+            image.weather,
+            (image.time / 60.0).floor(),
+            image.time % 60.0,
+        );
+        print!("{}", scenic::sim::ascii_view(&image, 72, 18));
+    }
+
+    let stats = sampler.stats();
+    println!(
+        "sampling: {} scenes in {} interpreter runs ({:.1} runs/scene)",
+        stats.scenes,
+        stats.iterations,
+        stats.iterations_per_scene()
+    );
+    Ok(())
+}

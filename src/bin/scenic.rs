@@ -1,0 +1,284 @@
+//! `scenic` — the command-line front end.
+//!
+//! Mirrors how the paper's tool flow (§2, Fig. 2) is driven in practice:
+//! a `.scenic` file goes in, sampled scenes come out in a simulator's
+//! input format.
+//!
+//! ```text
+//! scenic check  <file> [--world gta|mars|bare]
+//! scenic print  <file>
+//! scenic sample <file> [--world W] [-n N] [--seed S]
+//!               [--format json|gta|wbt|summary] [--out DIR] [--stats]
+//! ```
+//!
+//! `check` parses and compiles (reporting the first error with its
+//! position), `print` re-emits the canonical pretty-printed source, and
+//! `sample` draws `N` scenes by rejection sampling and writes them to
+//! stdout (or one file per scene under `--out`).
+
+use scenic::core::sampler::Sampler;
+use scenic::core::{compile_with_world, World};
+use scenic::prelude::{Scene, Vec2};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  scenic check  <file> [--world gta|mars|bare]
+  scenic print  <file>
+  scenic sample <file> [--world gta|mars|bare] [-n N] [--seed S]
+                [--format json|gta|wbt|summary] [--out DIR] [--stats]
+                [--ppm]
+
+options:
+  --world W     world/library to compile against (default: gta)
+  -n N          number of scenes to sample (default: 1)
+  --seed S      RNG seed (default: 0)
+  --format F    output format (default: summary)
+  --out DIR     write one file per scene instead of stdout
+  --stats       print rejection-sampling statistics to stderr
+  --ppm         also write a top-down scene_NNNN.ppm (needs --out)
+";
+
+struct Options {
+    command: String,
+    file: String,
+    world: String,
+    n: usize,
+    seed: u64,
+    format: String,
+    out: Option<String>,
+    stats: bool,
+    ppm: bool,
+}
+
+fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
+    args.next(); // program name
+    let command = args.next().ok_or("missing command")?;
+    if command == "--help" || command == "-h" || command == "help" {
+        return Err(String::new());
+    }
+    let mut options = Options {
+        command,
+        file: String::new(),
+        world: "gta".into(),
+        n: 1,
+        seed: 0,
+        format: "summary".into(),
+        out: None,
+        stats: false,
+        ppm: false,
+    };
+    let mut positional = Vec::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--world" => options.world = take("--world")?,
+            "-n" => {
+                options.n = take("-n")?
+                    .parse()
+                    .map_err(|_| "-n needs a positive integer")?;
+            }
+            "--seed" => {
+                options.seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer")?;
+            }
+            "--format" => options.format = take("--format")?,
+            "--out" => options.out = Some(take("--out")?),
+            "--stats" => options.stats = true,
+            "--ppm" => options.ppm = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    match positional.len() {
+        0 => return Err("missing input file".into()),
+        1 => options.file = positional.remove(0),
+        _ => return Err(format!("unexpected argument `{}`", positional[1])),
+    }
+    if !matches!(options.world.as_str(), "gta" | "mars" | "bare") {
+        return Err(format!(
+            "unknown world `{}` (expected gta, mars, or bare)",
+            options.world
+        ));
+    }
+    if options.ppm && options.out.is_none() {
+        return Err("--ppm needs --out DIR".into());
+    }
+    if !matches!(options.format.as_str(), "json" | "gta" | "wbt" | "summary") {
+        return Err(format!(
+            "unknown format `{}` (expected json, gta, wbt, or summary)",
+            options.format
+        ));
+    }
+    Ok(options)
+}
+
+/// The compiled world plus whatever background polygons a top-down
+/// rendering should show (the gta world's roads; nothing elsewhere).
+struct LoadedWorld {
+    core: World,
+    background: Vec<scenic::geom::Polygon>,
+}
+
+fn build_world(name: &str) -> LoadedWorld {
+    match name {
+        "gta" => {
+            let world = scenic::gta::World::generate(scenic::gta::MapConfig::default());
+            LoadedWorld {
+                core: world.core().clone(),
+                background: world.map.road_polygons(),
+            }
+        }
+        "mars" => LoadedWorld {
+            core: scenic::mars::world(),
+            background: Vec::new(),
+        },
+        _ => LoadedWorld {
+            core: World::bare(),
+            background: Vec::new(),
+        },
+    }
+}
+
+/// Renders a 60 m top-down view centered on the ego.
+fn write_ppm(
+    scene: &Scene,
+    background: &[scenic::geom::Polygon],
+    path: &std::path::Path,
+) -> Result<(), String> {
+    let center = scene.ego().position_vec();
+    let bounds = scenic::geom::Aabb::new(
+        center - Vec2::new(30.0, 30.0),
+        center + Vec2::new(30.0, 30.0),
+    );
+    let raster = scenic::sim::top_down(scene, background, bounds, 480, 480);
+    raster
+        .save_ppm(path)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn render(scene: &Scene, format: &str) -> String {
+    match format {
+        "json" => scene.to_json(),
+        "gta" => scenic::sim::to_gta_json_lines(scene),
+        "wbt" => scenic::sim::to_webots_world(scene),
+        _ => {
+            let mut out = String::new();
+            for obj in &scene.objects {
+                let tag = if obj.is_ego { " (ego)" } else { "" };
+                out.push_str(&format!(
+                    "{}{tag} at ({:.2}, {:.2}) facing {:.1}°, {:.1}×{:.1} m\n",
+                    obj.class,
+                    obj.position[0],
+                    obj.position[1],
+                    obj.heading.to_degrees(),
+                    obj.width,
+                    obj.height,
+                ));
+            }
+            out
+        }
+    }
+}
+
+fn file_extension(format: &str) -> &'static str {
+    match format {
+        "json" => "json",
+        "gta" => "gta.jsonl",
+        "wbt" => "wbt",
+        _ => "txt",
+    }
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let source =
+        std::fs::read_to_string(&options.file).map_err(|e| format!("{}: {e}", options.file))?;
+
+    match options.command.as_str() {
+        "print" => {
+            let program = scenic::lang::parse(&source).map_err(|e| e.to_string())?;
+            print!("{}", scenic::lang::print_program(&program));
+            Ok(())
+        }
+        "check" => {
+            let world = build_world(&options.world);
+            compile_with_world(&source, &world.core).map_err(|e| e.to_string())?;
+            eprintln!("{}: ok", options.file);
+            Ok(())
+        }
+        "sample" => {
+            let world = build_world(&options.world);
+            let scenario = compile_with_world(&source, &world.core).map_err(|e| e.to_string())?;
+            let mut sampler = Sampler::new(&scenario).with_seed(options.seed);
+            if let Some(dir) = &options.out {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+            }
+            for i in 0..options.n {
+                let scene = sampler.sample().map_err(|e| e.to_string())?;
+                let text = render(&scene, &options.format);
+                match &options.out {
+                    Some(dir) => {
+                        let path = std::path::Path::new(dir)
+                            .join(format!("scene_{i:04}.{}", file_extension(&options.format)));
+                        std::fs::write(&path, &text)
+                            .map_err(|e| format!("{}: {e}", path.display()))?;
+                        eprintln!("wrote {}", path.display());
+                        if options.ppm {
+                            let ppm_path =
+                                std::path::Path::new(dir).join(format!("scene_{i:04}.ppm"));
+                            write_ppm(&scene, &world.background, &ppm_path)?;
+                            eprintln!("wrote {}", ppm_path.display());
+                        }
+                    }
+                    None => {
+                        if options.n > 1 && options.format == "summary" {
+                            println!("--- scene {i} ---");
+                        }
+                        print!("{text}");
+                    }
+                }
+            }
+            if options.stats {
+                let stats = sampler.stats();
+                eprintln!(
+                    "{} scenes, {} iterations ({:.1}/scene); rejections: \
+                     {} requirement, {} collision, {} containment, {} visibility",
+                    stats.scenes,
+                    stats.iterations,
+                    stats.iterations_per_scene(),
+                    stats.requirement_rejections,
+                    stats.collision_rejections,
+                    stats.containment_rejections,
+                    stats.visibility_rejections,
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args()) {
+        Ok(options) => match run(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

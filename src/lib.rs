@@ -1,0 +1,57 @@
+//! # Scenic (Rust reproduction)
+//!
+//! A from-scratch Rust implementation of **Scenic: A Language for
+//! Scenario Specification and Scene Generation** (Fremont et al.,
+//! PLDI 2019): a probabilistic programming language whose programs
+//! describe *distributions over scenes* — configurations of physical
+//! objects and agents.
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! - [`geom`]: the 2D geometry substrate (vectors, headings, polygons,
+//!   regions, vector fields, visibility);
+//! - [`lang`]: lexer, parser, and AST for the Scenic language;
+//! - [`core`]: the interpreter (specifier resolution, operator
+//!   semantics, requirements, mutation) and the domain-specific
+//!   samplers with §5.2 pruning;
+//! - [`gta`]: the synthetic driving world and `gtaLib` standard library
+//!   used by the paper's autonomous-car case study;
+//! - [`sim`]: the camera/rendering substrate producing labeled
+//!   bounding boxes, plus detection metrics (IoU, precision, recall,
+//!   average precision);
+//! - [`detect`]: the synthetic car detector standing in for squeezeDet,
+//!   with the training/evaluation harness behind §6's experiments;
+//! - [`mars`]: the Mars-rover robotics workspace of Fig. 4/§A.12.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scenic::prelude::*;
+//!
+//! let source = r#"
+//! ego = Car
+//! Car offset by (-10, 10) @ (20, 40)
+//! "#;
+//! let world = scenic::gta::World::generate(scenic::gta::MapConfig::default());
+//! let scenario = compile_with_world(source, world.core())?;
+//! let mut sampler = Sampler::new(&scenario);
+//! let scene = sampler.sample_seeded(42)?;
+//! assert_eq!(scene.objects.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use scenic_core as core;
+pub use scenic_detect as detect;
+pub use scenic_geom as geom;
+pub use scenic_gta as gta;
+pub use scenic_lang as lang;
+pub use scenic_mars as mars;
+pub use scenic_sim as sim;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use scenic_core::sampler::{Sampler, SamplerConfig};
+    pub use scenic_core::scene::{Scene, SceneObject};
+    pub use scenic_core::{compile, compile_with_world, ScenicError};
+    pub use scenic_geom::{Heading, Polygon, Region, Vec2, VectorField};
+}

@@ -1,0 +1,214 @@
+//! End-to-end tests of the `scenic` command-line front end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scenic_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_scenic")
+}
+
+fn write_scenario(name: &str, source: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("scenic-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, source).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(scenic_bin())
+        .args(args)
+        .output()
+        .expect("failed to launch scenic binary")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("scenic sample"));
+}
+
+#[test]
+fn check_accepts_a_valid_scenario() {
+    let path = write_scenario("ok.scenic", "ego = Car\nCar\n");
+    let out = run(&["check", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("ok"));
+}
+
+#[test]
+fn check_reports_parse_errors_with_position() {
+    let path = write_scenario("bad.scenic", "ego = Car\nCar offset\n");
+    let out = run(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("error:"), "{}", stderr(&out));
+    assert!(stderr(&out).contains('2'), "line missing: {}", stderr(&out));
+}
+
+#[test]
+fn check_with_bare_world_rejects_gta_classes() {
+    let path = write_scenario("needs_gta.scenic", "ego = Car\n");
+    let out = run(&["check", path.to_str().unwrap(), "--world", "bare"]);
+    // `Car` only exists in the gta library; the bare world compiles
+    // fine (binding happens at run time), so `check` still passes —
+    // but sampling must fail cleanly.
+    let sample = run(&["sample", path.to_str().unwrap(), "--world", "bare"]);
+    assert!(out.status.success());
+    assert_eq!(sample.status.code(), Some(1));
+    assert!(stderr(&sample).contains("Car"), "{}", stderr(&sample));
+}
+
+#[test]
+fn sample_summary_lists_every_object() {
+    let path = write_scenario("two.scenic", "ego = Car\nCar\n");
+    let out = run(&["sample", path.to_str().unwrap(), "--seed", "3"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.matches("Car").count(), 2, "{text}");
+    assert!(text.contains("(ego)"), "{text}");
+}
+
+#[test]
+fn sample_is_deterministic_per_seed() {
+    let path = write_scenario("det.scenic", "ego = Car\nCar\n");
+    let a = run(&["sample", path.to_str().unwrap(), "--seed", "9"]);
+    let b = run(&["sample", path.to_str().unwrap(), "--seed", "9"]);
+    let c = run(&["sample", path.to_str().unwrap(), "--seed", "10"]);
+    assert_eq!(stdout(&a), stdout(&b));
+    assert_ne!(stdout(&a), stdout(&c));
+}
+
+#[test]
+fn sample_json_round_trips() {
+    let path = write_scenario("json.scenic", "ego = Car\nCar\n");
+    let out = run(&[
+        "sample",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--seed",
+        "1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let scene = scenic::prelude::Scene::from_json(&stdout(&out)).expect("valid scene JSON");
+    assert_eq!(scene.objects.len(), 2);
+}
+
+#[test]
+fn sample_writes_files_with_out_dir() {
+    let path = write_scenario("outdir.scenic", "ego = Car\nCar\n");
+    let dir = std::env::temp_dir().join("scenic-cli-tests/out");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = run(&[
+        "sample",
+        path.to_str().unwrap(),
+        "-n",
+        "3",
+        "--format",
+        "gta",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert_eq!(files.len(), 3);
+    let first = std::fs::read_to_string(dir.join("scene_0000.gta.jsonl")).unwrap();
+    assert!(first.contains("set_camera"), "{first}");
+}
+
+#[test]
+fn sample_ppm_writes_rasters() {
+    let path = write_scenario("ppm.scenic", "ego = Car\nCar\n");
+    let dir = std::env::temp_dir().join("scenic-cli-tests/ppm");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = run(&[
+        "sample",
+        path.to_str().unwrap(),
+        "-n",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+        "--ppm",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let ppm = std::fs::read(dir.join("scene_0000.ppm")).unwrap();
+    assert!(ppm.starts_with(b"P6"), "not a binary PPM");
+    assert!(dir.join("scene_0001.ppm").exists());
+}
+
+#[test]
+fn ppm_without_out_dir_is_rejected() {
+    let path = write_scenario("ppm2.scenic", "ego = Car\n");
+    let out = run(&["sample", path.to_str().unwrap(), "--ppm"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--ppm needs --out"));
+}
+
+#[test]
+fn sample_stats_go_to_stderr() {
+    let path = write_scenario("stats.scenic", "ego = Car\nCar\n");
+    let out = run(&["sample", path.to_str().unwrap(), "-n", "2", "--stats"]);
+    assert!(out.status.success());
+    assert!(stderr(&out).contains("2 scenes"), "{}", stderr(&out));
+}
+
+#[test]
+fn sample_mars_world() {
+    let path = write_scenario(
+        "rover.scenic",
+        "ego = Rover at 0 @ -2\nGoal at (-2, 2) @ (2, 2.5)\n",
+    );
+    let out = run(&["sample", path.to_str().unwrap(), "--world", "mars"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("Rover"), "{}", stdout(&out));
+}
+
+#[test]
+fn print_emits_reparsable_source() {
+    let path = write_scenario(
+        "pretty.scenic",
+        "ego = Car\nCar offset by (-10, 10) @ (20, 40), facing 5 deg\n",
+    );
+    let out = run(&["print", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    scenic::lang::parse(&stdout(&out)).expect("printed source parses");
+}
+
+#[test]
+fn unknown_world_is_rejected() {
+    let path = write_scenario("w.scenic", "ego = Car\n");
+    let out = run(&["sample", path.to_str().unwrap(), "--world", "moon"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown world"));
+}
+
+#[test]
+fn unknown_format_is_rejected() {
+    let path = write_scenario("f.scenic", "ego = Car\n");
+    let out = run(&["sample", path.to_str().unwrap(), "--format", "png"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown format"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = run(&["check", "/nonexistent/path.scenic"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("error:"));
+}

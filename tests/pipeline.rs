@@ -1,0 +1,156 @@
+//! End-to-end pipeline tests: Scenic source → scenes → images →
+//! detector → metrics (the full tool flow of Fig. 2).
+
+use scenic::detect::{Dataset, Detector};
+use scenic::gta::{scenarios, MapConfig, World};
+use scenic::prelude::*;
+
+fn world() -> World {
+    World::generate(MapConfig::default())
+}
+
+#[test]
+fn scenario_to_metrics_end_to_end() {
+    let w = world();
+    let train = Dataset::from_source(scenarios::TWO_CARS, w.core(), 120, 1).unwrap();
+    let test = Dataset::from_source(scenarios::TWO_CARS, w.core(), 40, 2).unwrap();
+    let model = Detector::train(&train.images);
+    let metrics = model.evaluate(&test.images, 3);
+    assert!(metrics.precision > 60.0, "precision {}", metrics.precision);
+    assert!(metrics.recall > 60.0, "recall {}", metrics.recall);
+    assert_eq!(metrics.images, 40);
+}
+
+#[test]
+fn scene_json_is_simulator_interface() {
+    // The JSON a simulator plugin would consume: params + objects with
+    // positions, headings, extents, and library properties.
+    let w = world();
+    let scenario = compile_with_world(scenarios::SIMPLEST, w.core()).unwrap();
+    let scene = Sampler::new(&scenario).sample_seeded(4).unwrap();
+    let json = scene.to_json();
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let objects = value["objects"].as_array().unwrap();
+    assert_eq!(objects.len(), 2);
+    for obj in objects {
+        assert!(obj["position"].as_array().unwrap().len() == 2);
+        assert!(obj["properties"]["model"]["name"].is_string());
+        assert!(obj["properties"]["color"].is_array());
+    }
+}
+
+#[test]
+fn every_gallery_scenario_generates_scenes() {
+    let w = world();
+    for (name, src) in [
+        ("A.2", scenarios::SIMPLEST),
+        ("A.3", scenarios::ONE_CAR),
+        ("A.4", scenarios::BADLY_PARKED),
+        ("A.5", scenarios::ONCOMING),
+        ("A.7", scenarios::TWO_CARS),
+        ("A.8", scenarios::TWO_OVERLAPPING),
+        ("A.9", scenarios::FOUR_CARS_BAD_CONDITIONS),
+        ("A.10", scenarios::PLATOON_DAYTIME),
+        ("A.11", scenarios::BUMPER_TO_BUMPER),
+        ("parked row (user-defined specifier)", scenarios::PARKED_ROW),
+    ] {
+        let scenario = compile_with_world(src, w.core())
+            .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+        let mut sampler =
+            Sampler::new(&scenario)
+                .with_seed(7)
+                .with_config(scenic::core::SamplerConfig {
+                    max_iterations: 50_000,
+                });
+        let scene = sampler
+            .sample()
+            .unwrap_or_else(|e| panic!("{name} failed to sample: {e}"));
+        assert!(scene.objects.len() >= 2, "{name} produced too few objects");
+        // The paper's performance envelope: a few hundred iterations at
+        // most for reasonable scenarios.
+        assert!(
+            sampler.stats().iterations_per_scene() < 2000.0,
+            "{name} took {} iterations",
+            sampler.stats().iterations_per_scene()
+        );
+    }
+}
+
+#[test]
+fn scene_distribution_is_conditioned_by_requirements() {
+    // The oncoming scenario requires `car2 can see ego`; every accepted
+    // scene satisfies it even though most raw draws do not.
+    let w = world();
+    let scenario = compile_with_world(scenarios::ONCOMING, w.core()).unwrap();
+    let mut sampler = Sampler::new(&scenario).with_seed(10);
+    for _ in 0..5 {
+        let scene = sampler.sample().unwrap();
+        let ego = scene.ego();
+        let car2 = scene.non_ego_objects().next().unwrap();
+        let viewer = scenic::geom::visibility::Viewer::oriented(
+            car2.position_vec(),
+            scenic::geom::Heading(car2.heading),
+            30.0,
+            30f64.to_radians(),
+        );
+        assert!(viewer.can_see_box(&ego.bounding_box()));
+    }
+    assert!(sampler.stats().requirement_rejections > 0);
+}
+
+#[test]
+fn rendered_images_respect_scene_geometry() {
+    let w = world();
+    let scenario = compile_with_world(scenarios::TWO_OVERLAPPING, w.core()).unwrap();
+    let mut sampler = Sampler::new(&scenario).with_seed(11);
+    let mut overlapping_seen = 0;
+    for _ in 0..10 {
+        let scene = sampler.sample().unwrap();
+        let image = scenic::sim::render_scene(&scene);
+        for car in &image.cars {
+            assert!(car.depth > 0.0 && car.depth < 120.0);
+            assert!(car.bbox.area() > 0.0);
+        }
+        if image.cars.len() == 2 && image.cars[1].occlusion > 0.1 {
+            overlapping_seen += 1;
+        }
+    }
+    assert!(
+        overlapping_seen >= 5,
+        "only {overlapping_seen}/10 overlap images actually overlapped"
+    );
+}
+
+#[test]
+fn pruned_and_unpruned_scenes_agree_on_requirements() {
+    // Pruning must not change which scenes are acceptable — every
+    // pruned-world scene satisfies the same requirements.
+    use scenic::core::prune::PruneParams;
+    let w = world();
+    let pruned = w
+        .pruned(&PruneParams {
+            min_radius: 1.0,
+            ..PruneParams::default()
+        })
+        .unwrap();
+    let scenario = compile_with_world(scenarios::TWO_CARS, &pruned).unwrap();
+    let mut sampler = Sampler::new(&scenario).with_seed(12);
+    for _ in 0..5 {
+        let scene = sampler.sample().unwrap();
+        // All objects on the map, none colliding.
+        for (i, a) in scene.objects.iter().enumerate() {
+            for b in scene.objects.iter().skip(i + 1) {
+                assert!(!a.bounding_box().intersects(&b.bounding_box()));
+            }
+        }
+    }
+}
+
+#[test]
+fn mars_pipeline() {
+    let world = scenic::mars::world();
+    let scenario = compile_with_world(scenic::mars::BOTTLENECK, &world).unwrap();
+    let scene = Sampler::new(&scenario).sample_seeded(13).unwrap();
+    let plan = scenic::mars::plan(&scene, scenic::mars::WORKSPACE_HALF, true);
+    assert!(plan.is_some(), "planner found no route");
+}

@@ -1,0 +1,373 @@
+//! Statistical tests of the probabilistic semantics (§5.1 / Appendix B):
+//! the language's distributions, requirement conditioning, soft
+//! requirements, mutation noise, and per-instance default evaluation,
+//! checked against their closed-form expectations over many samples.
+//!
+//! Tolerances are wide enough (±3–4 standard errors) that the tests are
+//! deterministic in practice for the fixed seeds used.
+
+use scenic::core::sampler::Sampler;
+use scenic::prelude::*;
+
+/// Samples `n` scenes and extracts a statistic per scene.
+fn collect(source: &str, n: usize, f: impl Fn(&Scene) -> f64) -> Vec<f64> {
+    let scenario = compile(source).expect("compile");
+    let mut sampler = Sampler::new(&scenario).with_seed(0xC0FFEE);
+    (0..n)
+        .map(|_| f(&sampler.sample().expect("sample")))
+        .collect()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn std_dev(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Reads the x coordinate of the ego (used as the carrier of a sampled
+/// scalar in most scenarios below).
+fn ego_x(scene: &Scene) -> f64 {
+    scene.ego().position[0]
+}
+
+// ---------------------------------------------------------------------
+// Base distributions (Table 1)
+// ---------------------------------------------------------------------
+
+#[test]
+fn uniform_interval_moments() {
+    // (2, 6): mean 4, variance (6-2)^2/12 = 4/3.
+    let xs = collect("ego = Object at (2, 6) @ 0\n", 2000, ego_x);
+    assert!((mean(&xs) - 4.0).abs() < 0.1, "mean {}", mean(&xs));
+    let sd = std_dev(&xs);
+    assert!((sd - (4.0f64 / 3.0).sqrt()).abs() < 0.08, "sd {sd}");
+    assert!(xs.iter().all(|&x| (2.0..=6.0).contains(&x)));
+}
+
+#[test]
+fn normal_distribution_moments() {
+    let xs = collect("ego = Object at Normal(10, 2) @ 0\n", 2000, ego_x);
+    assert!((mean(&xs) - 10.0).abs() < 0.2, "mean {}", mean(&xs));
+    assert!((std_dev(&xs) - 2.0).abs() < 0.15, "sd {}", std_dev(&xs));
+}
+
+#[test]
+fn uniform_over_values_is_equally_likely() {
+    let xs = collect("ego = Object at Uniform(1, 2, 3) @ 0\n", 3000, ego_x);
+    for v in [1.0, 2.0, 3.0] {
+        let frac = xs.iter().filter(|&&x| x == v).count() as f64 / xs.len() as f64;
+        assert!((frac - 1.0 / 3.0).abs() < 0.04, "P({v}) = {frac}");
+    }
+}
+
+#[test]
+fn truncated_normal_stays_in_window_with_normal_shape() {
+    let xs = collect(
+        "ego = Object at TruncatedNormal(10, 4, 8, 12) @ 0\n",
+        2000,
+        ego_x,
+    );
+    assert!(xs.iter().all(|&x| (8.0..=12.0).contains(&x)));
+    // Symmetric window around the mean keeps the mean.
+    assert!((mean(&xs) - 10.0).abs() < 0.15, "mean {}", mean(&xs));
+    // Truncation shrinks the spread well below the parent σ = 4.
+    assert!(std_dev(&xs) < 1.6, "sd {}", std_dev(&xs));
+}
+
+#[test]
+fn truncated_normal_resamples_within_window() {
+    let scenario =
+        compile("d = TruncatedNormal(0, 5, -1, 1)\nego = Object at d @ resample(d)\n").unwrap();
+    let mut sampler = Sampler::new(&scenario).with_seed(17);
+    for _ in 0..200 {
+        let p = sampler.sample().unwrap().ego().position;
+        assert!(p[0].abs() <= 1.0 && p[1].abs() <= 1.0, "{p:?}");
+    }
+}
+
+#[test]
+fn truncated_normal_rejects_inverted_bounds() {
+    let scenario = compile("ego = Object at TruncatedNormal(0, 1, 2, -2) @ 0\n").unwrap();
+    let err = scenario.generate_seeded(0).unwrap_err();
+    assert!(
+        err.to_string().contains("low <= high"),
+        "wrong error: {err}"
+    );
+}
+
+#[test]
+fn discrete_weights_are_respected() {
+    // Weights 1:3 → probabilities 0.25 / 0.75.
+    let xs = collect("ego = Object at Discrete({0: 1, 10: 3}) @ 0\n", 3000, ego_x);
+    let frac10 = xs.iter().filter(|&&x| x == 10.0).count() as f64 / xs.len() as f64;
+    assert!((frac10 - 0.75).abs() < 0.04, "P(10) = {frac10}");
+}
+
+#[test]
+fn sampling_once_per_evaluation_diagonal() {
+    // §4.2's example: `x = (0, 1); y = x @ x` puts y on the *diagonal*
+    // of the unit box, not uniformly inside it.
+    let scenario = compile("x = (0, 1)\nego = Object at x @ x\n").unwrap();
+    let mut sampler = Sampler::new(&scenario).with_seed(7);
+    for _ in 0..200 {
+        let scene = sampler.sample().unwrap();
+        let p = scene.ego().position;
+        assert!(
+            (p[0] - p[1]).abs() < 1e-12,
+            "({}, {}) is off the diagonal",
+            p[0],
+            p[1]
+        );
+    }
+}
+
+#[test]
+fn resample_draws_independently() {
+    // §4.2: `resample(D)` returns an independent draw from D, so the
+    // two coordinates decorrelate (correlation ≈ 0, not 1).
+    let scenario = compile("x = (0, 1)\nego = Object at x @ resample(x)\n").unwrap();
+    let mut sampler = Sampler::new(&scenario).with_seed(7);
+    let pts: Vec<[f64; 2]> = (0..1500)
+        .map(|_| sampler.sample().unwrap().ego().position)
+        .collect();
+    let xs: Vec<f64> = pts.iter().map(|p| p[0]).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p[1]).collect();
+    let (mx, my) = (mean(&xs), mean(&ys));
+    let cov = pts.iter().map(|p| (p[0] - mx) * (p[1] - my)).sum::<f64>() / pts.len() as f64;
+    let corr = cov / (std_dev(&xs) * std_dev(&ys));
+    assert!(corr.abs() < 0.1, "correlation {corr}");
+    assert!(pts.iter().any(|p| (p[0] - p[1]).abs() > 0.2));
+}
+
+#[test]
+fn resample_conditions_on_evaluated_parameters() {
+    // Footnote 2: the distribution's parameters are *not* resampled.
+    // Here the interval's endpoints are themselves random, but fixed at
+    // evaluation; resampling must stay within the same realized
+    // interval of width 1.
+    let scenario =
+        compile("lo = Uniform(0, 100)\nd = (lo, lo + 1)\nego = Object at d @ resample(d)\n")
+            .unwrap();
+    let mut sampler = Sampler::new(&scenario).with_seed(21);
+    for _ in 0..300 {
+        let p = sampler.sample().unwrap().ego().position;
+        assert!(
+            (p[0] - p[1]).abs() <= 1.0,
+            "draws {} and {} come from different realized intervals",
+            p[0],
+            p[1]
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requirements (hard and soft)
+// ---------------------------------------------------------------------
+
+#[test]
+fn hard_requirement_conditions_the_distribution() {
+    // §5.1's example: x = (0, 1) with `require x > 0.5` yields a
+    // uniform distribution on (0.5, 1) — mean 0.75.
+    let xs = collect(
+        "x = (0, 1)\nego = Object at x @ 0\nrequire x > 0.5\n",
+        1500,
+        ego_x,
+    );
+    assert!(xs.iter().all(|&x| x > 0.5));
+    assert!((mean(&xs) - 0.75).abs() < 0.02, "mean {}", mean(&xs));
+}
+
+#[test]
+fn soft_requirement_meets_its_probability_bound() {
+    // Condition has prior probability 0.5; require[0.6] must raise it
+    // to q/(q + (1-q)(1-p)) = 0.5/0.7 ≈ 0.714 ≥ 0.6.
+    let xs = collect(
+        "x = (0, 1)\nego = Object at x @ 0\nrequire[0.6] x > 0.5\n",
+        3000,
+        ego_x,
+    );
+    let frac = xs.iter().filter(|&&x| x > 0.5).count() as f64 / xs.len() as f64;
+    assert!(frac >= 0.6, "soft requirement violated: {frac}");
+    assert!((frac - 5.0 / 7.0).abs() < 0.04, "conditioned P = {frac}");
+}
+
+#[test]
+fn soft_requirement_with_probability_one_is_hard() {
+    let xs = collect(
+        "x = (0, 1)\nego = Object at x @ 0\nrequire[1.0] x > 0.9\n",
+        300,
+        ego_x,
+    );
+    assert!(xs.iter().all(|&x| x > 0.9));
+}
+
+#[test]
+fn soft_requirement_probability_out_of_range_errors() {
+    for p in ["1.5", "-0.2", "2"] {
+        let scenario = compile(&format!(
+            "x = (0, 1)\nego = Object at x @ 0\nrequire[{p}] x > 0.5\n"
+        ))
+        .unwrap();
+        let err = scenario.generate_seeded(0).unwrap_err();
+        assert!(
+            err.to_string().contains("[0, 1]"),
+            "probability {p}: wrong error {err}"
+        );
+    }
+}
+
+#[test]
+fn soft_requirement_with_probability_zero_is_noop() {
+    let xs = collect(
+        "x = (0, 1)\nego = Object at x @ 0\nrequire[0.0] x > 2\n",
+        200,
+        ego_x,
+    );
+    // Impossible condition, never enforced: sampling still succeeds.
+    assert_eq!(xs.len(), 200);
+}
+
+// ---------------------------------------------------------------------
+// Mutation (Fig. 25, Termination Step 1)
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_noise_scales_with_by_clause() {
+    // `mutate by 2` adds Gaussian noise with twice the standard
+    // deviation of `mutate` (positionStdDev defaults to 1).
+    let sd1 = std_dev(&collect(
+        "ego = Object at 0 @ 0, with requireVisible False\nmutate\n",
+        1200,
+        ego_x,
+    ));
+    let sd2 = std_dev(&collect(
+        "ego = Object at 0 @ 0, with requireVisible False\nmutate by 2\n",
+        1200,
+        ego_x,
+    ));
+    assert!((sd1 - 1.0).abs() < 0.15, "sd1 {sd1}");
+    assert!((sd2 - 2.0).abs() < 0.25, "sd2 {sd2}");
+}
+
+#[test]
+fn mutation_respects_position_std_dev_property() {
+    let sd = std_dev(&collect(
+        "ego = Object at 0 @ 0, with requireVisible False, with positionStdDev 3\nmutate\n",
+        1200,
+        ego_x,
+    ));
+    assert!((sd - 3.0).abs() < 0.35, "sd {sd}");
+}
+
+#[test]
+fn heading_noise_uses_heading_std_dev() {
+    // headingStdDev defaults to 5° (Table 2).
+    let hs = collect(
+        "ego = Object at 0 @ 0, with requireVisible False\nmutate\n",
+        1200,
+        |s| s.ego().heading.to_degrees(),
+    );
+    let sd = std_dev(&hs);
+    assert!((sd - 5.0).abs() < 0.8, "heading sd {sd}°");
+}
+
+#[test]
+fn unmutated_objects_are_exact() {
+    let xs = collect("ego = Object at 1 @ 2\n", 50, ego_x);
+    assert!(xs.iter().all(|&x| x == 1.0));
+}
+
+// ---------------------------------------------------------------------
+// Per-instance default evaluation (§4.1)
+// ---------------------------------------------------------------------
+
+#[test]
+fn class_defaults_resample_per_instance() {
+    // `weight: (1, 5)` draws independently for each instance.
+    let scenario = compile(
+        "class Crate:\n\
+         \x20   weight: (1, 5)\n\
+         ego = Object at 50 @ 50\n\
+         a = Crate at 0 @ 0, with requireVisible False\n\
+         b = Crate at 10 @ 0, with requireVisible False\n",
+    )
+    .unwrap();
+    let mut sampler = Sampler::new(&scenario).with_seed(5);
+    let mut differed = 0;
+    for _ in 0..60 {
+        let scene = sampler.sample().unwrap();
+        let w: Vec<f64> = scene
+            .objects
+            .iter()
+            .filter(|o| o.class == "Crate")
+            .map(|o| o.property("weight").and_then(|p| p.as_number()).unwrap())
+            .collect();
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|&x| (1.0..=5.0).contains(&x)));
+        if (w[0] - w[1]).abs() > 1e-9 {
+            differed += 1;
+        }
+    }
+    assert!(
+        differed > 55,
+        "defaults must draw independently: {differed}/60"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Default requirements shape the accepted distribution
+// ---------------------------------------------------------------------
+
+#[test]
+fn visibility_requirement_conditions_positions() {
+    // With a 50 m view distance (Table 2), accepted objects all sit
+    // within 50 m of the ego.
+    let scenario = compile("ego = Object at 0 @ 0\nObject at (-200, 200) @ (-200, 200)\n").unwrap();
+    let mut sampler = Sampler::new(&scenario).with_seed(9);
+    for _ in 0..40 {
+        let scene = sampler.sample().unwrap();
+        let p = scene.objects[1].position_vec();
+        assert!(p.norm() <= 50.0 + 1.0, "object at {p:?} should be rejected");
+    }
+}
+
+#[test]
+fn collision_requirement_separates_boxes() {
+    let scenario = compile(
+        "ego = Object at 0 @ 0, with width 4, with height 4\n\
+         Object at (-8, 8) @ (-8, 8), with width 4, with height 4\n",
+    )
+    .unwrap();
+    let mut sampler = Sampler::new(&scenario).with_seed(13);
+    for _ in 0..60 {
+        let scene = sampler.sample().unwrap();
+        let p = scene.objects[1].position_vec();
+        // Two axis-aligned 4×4 boxes at distance < 4 in both axes collide.
+        assert!(
+            p.x.abs() >= 4.0 - 1e-9 || p.y.abs() >= 4.0 - 1e-9,
+            "boxes at {p:?} overlap"
+        );
+    }
+}
+
+#[test]
+fn rejection_sampling_preserves_conditional_uniformity() {
+    // Among accepted samples of a uniform position with `require x > y`,
+    // the distribution is uniform on the triangle: E[x] = 2/3, E[y] = 1/3.
+    let scenario = compile(
+        "ego = Object at (0, 1) @ (0, 1), with requireVisible False\n\
+         require ego.position.x > ego.position.y\n",
+    )
+    .unwrap();
+    let mut sampler = Sampler::new(&scenario).with_seed(31);
+    let pts: Vec<[f64; 2]> = (0..2000)
+        .map(|_| sampler.sample().unwrap().ego().position)
+        .collect();
+    let ex = mean(&pts.iter().map(|p| p[0]).collect::<Vec<_>>());
+    let ey = mean(&pts.iter().map(|p| p[1]).collect::<Vec<_>>());
+    assert!((ex - 2.0 / 3.0).abs() < 0.02, "E[x] = {ex}");
+    assert!((ey - 1.0 / 3.0).abs() < 0.02, "E[y] = {ey}");
+}
