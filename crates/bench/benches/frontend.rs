@@ -12,7 +12,7 @@ fn bench_frontend(c: &mut Criterion) {
     ];
     let mut lex_group = c.benchmark_group("lex");
     for (name, src) in &sources {
-        lex_group.bench_function(*name, |b| {
+        lex_group.bench_function(name, |b| {
             b.iter(|| scenic_lang::lex(src).expect("lexes"));
         });
     }
@@ -20,7 +20,7 @@ fn bench_frontend(c: &mut Criterion) {
 
     let mut parse_group = c.benchmark_group("parse");
     for (name, src) in &sources {
-        parse_group.bench_function(*name, |b| {
+        parse_group.bench_function(name, |b| {
             b.iter(|| scenic_lang::parse(src).expect("parses"));
         });
     }

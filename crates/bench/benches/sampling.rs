@@ -32,7 +32,7 @@ fn bench_scenarios(c: &mut Criterion) {
     group.sample_size(10);
     for (name, source) in &cases {
         let scenario = scenic_core::compile_with_world(source, world.core()).expect("compiles");
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             let mut sampler = Sampler::new(&scenario)
                 .with_seed(7)
                 .with_config(SamplerConfig {

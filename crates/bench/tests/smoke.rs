@@ -1,0 +1,14 @@
+//! Manifest smoke test: the experiment-harness helpers work and the
+//! standard world builds.
+
+#[test]
+fn helpers() {
+    assert_eq!(scenic_bench::scaled(100, 0.5), 50);
+    assert_eq!(scenic_bench::scaled(1, 0.01), 4, "floors at 4");
+    let world = scenic_bench::standard_world();
+    let scenario =
+        scenic_core::compile_with_world(scenic_gta::scenarios::SIMPLEST, world.core()).unwrap();
+    assert!(scenic_core::sampler::Sampler::new(&scenario)
+        .sample_seeded(1)
+        .is_ok());
+}

@@ -1,0 +1,31 @@
+//! Manifest smoke test: exercises the polygon operations this crate
+//! exists for, so a broken `scenic_geom` manifest fails loudly and
+//! locally rather than three crates downstream.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scenic_geom::{Heading, OrientedBox, Polygon, Region, Vec2};
+
+#[test]
+fn polygon_ops() {
+    let square = Polygon::rectangle(Vec2::new(0.0, 0.0), 10.0, 10.0);
+    assert!((square.area() - 100.0).abs() < 1e-9);
+    assert!(square.contains(Vec2::new(4.9, -4.9)));
+    assert!(!square.contains(Vec2::new(5.1, 0.0)));
+
+    let region = Region::from(square.clone());
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..64 {
+        let p = region.sample(&mut rng).expect("square region samples");
+        assert!(square.contains(p), "{p} escaped the square");
+    }
+}
+
+#[test]
+fn oriented_boxes_intersect() {
+    let a = OrientedBox::new(Vec2::ZERO, Heading(0.3), 2.0, 4.0);
+    let b = OrientedBox::new(Vec2::new(1.0, 1.0), Heading(-0.9), 2.0, 4.0);
+    let far = OrientedBox::new(Vec2::new(50.0, 0.0), Heading(0.0), 2.0, 4.0);
+    assert!(a.intersects(&b));
+    assert!(!a.intersects(&far));
+}

@@ -1,0 +1,15 @@
+//! Manifest smoke test: the bundled gallery scenarios compile against a
+//! generated world and the simplest one samples.
+
+use scenic_core::sampler::Sampler;
+use scenic_gta::{scenarios, MapConfig, World};
+
+#[test]
+fn simplest_scenario_samples() {
+    let world = World::generate(MapConfig::default());
+    let scenario =
+        scenic_core::compile_with_world(scenarios::SIMPLEST, world.core()).expect("compiles");
+    let scene = Sampler::new(&scenario).sample_seeded(1).expect("samples");
+    assert_eq!(scene.objects.len(), 2);
+    assert_eq!(scene.objects[0].class, "Car");
+}

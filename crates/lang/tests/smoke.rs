@@ -1,0 +1,21 @@
+//! Manifest smoke test: parse → print → parse is the identity on the
+//! AST, the front end's core contract.
+
+#[test]
+fn round_trip_parse_print_parse() {
+    let source = "\
+ego = Car at 1 @ 2, facing 30 deg
+c = Car behind ego by 5, with requireVisible False
+require ego can see c
+";
+    let ast = scenic_lang::parse(source).expect("source parses");
+    let printed = scenic_lang::print_program(&ast);
+    let reparsed = scenic_lang::parse(&printed).expect("printed source parses");
+    assert_eq!(ast, reparsed);
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let err = scenic_lang::parse("ego = Car\nCar offset\n").unwrap_err();
+    assert!(err.to_string().contains('2'), "no line info: {err}");
+}

@@ -1,0 +1,20 @@
+//! Manifest smoke test: the Fig. 22 bottleneck scenario samples in the
+//! Mars workspace and the grid planner finds a route to the goal.
+
+use scenic_core::sampler::{Sampler, SamplerConfig};
+
+#[test]
+fn bottleneck_samples_and_plans() {
+    let world = scenic_mars::world();
+    let scenario =
+        scenic_core::compile_with_world(scenic_mars::BOTTLENECK, &world).expect("compiles");
+    let mut sampler = Sampler::new(&scenario).with_config(SamplerConfig {
+        max_iterations: 100_000,
+    });
+    let scene = sampler.sample_seeded(7).expect("samples");
+    assert!(!scene.objects.is_empty());
+    assert_eq!(scene.objects[0].class, "Rover");
+
+    let plan = scenic_mars::planner::plan(&scene, scenic_mars::WORKSPACE_HALF, true);
+    assert!(plan.is_some(), "planner found no route");
+}

@@ -1,0 +1,32 @@
+//! Manifest smoke test: render a scene to an image, rasterize it, and
+//! export the simulator command formats.
+
+use scenic_core::sampler::Sampler;
+
+fn scene() -> scenic_core::Scene {
+    let scenario = scenic_core::compile(
+        "ego = Object at 0 @ 0, with width 2, with height 5\n\
+         Object at 3 @ 12, with width 2, with height 5\n",
+    )
+    .unwrap();
+    Sampler::new(&scenario).sample_seeded(3).unwrap()
+}
+
+#[test]
+fn image_export() {
+    let scene = scene();
+    let image = scenic_sim::render_scene(&scene);
+
+    // PPM raster export round-trips through the filesystem.
+    let raster = scenic_sim::render::driver_view(&image, 64, 48);
+    let dir = std::env::temp_dir().join("scenic-sim-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("smoke.ppm");
+    raster.save_ppm(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    assert!(bytes.starts_with(b"P6"), "not a binary PPM");
+
+    // Simulator command stream mentions the camera placement.
+    let jsonl = scenic_sim::to_gta_json_lines(&scene);
+    assert!(jsonl.contains("set_camera"), "{jsonl}");
+}

@@ -1,0 +1,4 @@
+ego = Car
+spot = OrientedPoint on visible curb
+badAngle = Uniform(1.0, -1.0) * (10, 20) deg
+Car left of spot by 0.5, facing badAngle relative to roadDirection

@@ -1,0 +1,2 @@
+ego = Car
+Car

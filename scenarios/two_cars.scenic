@@ -1,0 +1,4 @@
+wiggle = (-10 deg, 10 deg)
+ego = EgoCar with roadDeviation wiggle
+Car visible, with roadDeviation resample(wiggle)
+Car visible, with roadDeviation resample(wiggle)

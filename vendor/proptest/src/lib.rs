@@ -1,0 +1,390 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace's
+//! property tests run on this stub: the `proptest!` macro expands each
+//! property into a `#[test]` that draws `Config::cases` deterministic
+//! pseudo-random cases (seeded per case index, so failures reproduce
+//! across runs and platforms) and evaluates the body. There is no
+//! shrinking — a failing case reports its exact inputs instead.
+//!
+//! Supported strategy forms — the ones the workspace uses:
+//!
+//! - numeric ranges: `-100.0..100.0f64`, `0u64..1000`, `1u32..=8`, …;
+//! - [`bool::ANY`], [`num::u8::ANY`];
+//! - [`collection::vec(elem, 0..80)`](collection::vec);
+//! - string literals as a regex subset: one `[class]{lo,hi}` character
+//!   class with ranges and `\n`/`\t`/`\\` escapes (e.g.
+//!   `"[ -~\n\t]{0,120}"`).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Error type carried out of a failing property body.
+pub type TestCaseError = String;
+
+/// Runner configuration (`cases` is the only knob this stub honors).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to draw per property.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// Generates values of its associated type from a seeded RNG.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::*;
+
+    /// Uniform `true` / `false`.
+    pub struct Any;
+
+    /// The any-bool strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            rng.gen()
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric "any value" strategies.
+
+    macro_rules! any_mod {
+        ($($m:ident : $t:ty),*) => {$(
+            pub mod $m {
+                use $crate::Strategy;
+                use rand::rngs::StdRng;
+                use rand::Rng;
+
+                /// Uniform over the full domain of the type.
+                pub struct Any;
+
+                /// The any-value strategy.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+                    fn new_value(&self, rng: &mut StdRng) -> $t {
+                        rng.gen()
+                    }
+                }
+            }
+        )*};
+    }
+    any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, i8: i8, i16: i16, i32: i32, i64: i64);
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::*;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, 0..80)`: a vector of `element` draws.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self).unwrap_or_else(|| {
+            panic!(
+                "proptest stub: unsupported string strategy {self:?} \
+                 (supported: one \"[class]{{lo,hi}}\" pattern)"
+            )
+        });
+        let len = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}` into (alphabet, lo, hi).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let (class, quant) = rest.split_at(close);
+    let quant = quant
+        .strip_prefix(']')?
+        .strip_prefix('{')?
+        .strip_suffix('}')?;
+    let (lo, hi) = match quant.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = quant.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+
+    let mut chars = Vec::new();
+    let mut iter = class.chars().peekable();
+    while let Some(c) = iter.next() {
+        let c = if c == '\\' {
+            match iter.next()? {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }
+        } else {
+            c
+        };
+        if iter.peek() == Some(&'-') {
+            let mut lookahead = iter.clone();
+            lookahead.next(); // the '-'
+            if let Some(&end) = lookahead.peek() {
+                // A range `c-end` (a trailing '-' is a literal).
+                iter = lookahead;
+                iter.next();
+                let end = if end == '\\' { iter.next()? } else { end };
+                for code in (c as u32)..=(end as u32) {
+                    chars.extend(char::from_u32(code));
+                }
+                continue;
+            }
+        }
+        chars.push(c);
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+/// Builds the per-case RNG: deterministic in (property name, case index).
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash ^ ((case as u64) << 32 | 0x5EED))
+}
+
+pub mod test_runner {
+    //! Runner types (re-exported into the prelude).
+    pub use super::Config;
+}
+
+pub mod prelude {
+    //! Everything the `proptest!` body needs.
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts inside a property body, failing the case (not panicking the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+}
+
+/// `prop_assert!(a != b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {}\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case when its inputs are uninteresting.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// The property-test harness macro. Each `fn` inside becomes a
+/// `#[test]` drawing `Config::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::new_value(&$strategy, &mut rng);)*
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}:\n{}\ninputs:{}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        message,
+                        String::new() $(+ &format!("\n  {} = {:?}", stringify!($arg), $arg))*
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_pattern_parses() {
+        let (chars, lo, hi) = super::parse_class_pattern("[ -~\n\t]{0,120}").unwrap();
+        assert_eq!((lo, hi), (0, 120));
+        assert!(chars.contains(&' '));
+        assert!(chars.contains(&'~'));
+        assert!(chars.contains(&'\n'));
+        assert!(chars.contains(&'\t'));
+        assert!(!chars.contains(&'\u{7f}'));
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        let a = super::case_rng("x", 3).next_u64();
+        let b = super::case_rng("x", 3).next_u64();
+        let c = super::case_rng("x", 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -5.0..5.0f64, n in 1u32..10, b in crate::bool::ANY) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(usize::from(b) <= 1);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(bytes in crate::collection::vec(crate::num::u8::ANY, 2..6)) {
+            prop_assert!(bytes.len() >= 2 && bytes.len() < 6);
+        }
+
+        #[test]
+        fn string_strategy_draws_from_class(s in "[a-c]{1,4}") {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_override_applies(seed in 0u64..1000) {
+            prop_assert!(seed < 1000);
+        }
+    }
+}

@@ -1,0 +1,590 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of serde it uses: `#[derive(Serialize,
+//! Deserialize)]` plus JSON via the sibling `serde_json` stub.
+//!
+//! Unlike real serde (visitor-based, format-agnostic), this stub uses a
+//! concrete tree data model: [`Value`]. `Serialize` maps a type into a
+//! `Value`; `Deserialize` maps a `Value` back. `serde_json` re-exports
+//! [`Value`] and adds the JSON text layer. The derive macro (in
+//! `serde_derive`) supports named-field structs, tuple structs
+//! (single-field = transparent newtype), unit/newtype/struct-variant
+//! enums, and the container attributes actually used in this workspace:
+//! `#[serde(untagged)]` and `#[serde(tag = "...", rename_all =
+//! "snake_case")]`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`, like JavaScript).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// A key-ordered map (insertion order preserved).
+    Object(Map),
+}
+
+/// An insertion-ordered string-keyed map of [`Value`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts (replacing any existing entry with the same key).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Looks up by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl Value {
+    /// Type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Borrows the array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Whether this is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Keyed access that yields `Null` for missing keys / non-objects
+    /// (mirrors `serde_json::Value`'s `Index` semantics).
+    pub fn get_path(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get_path(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// A (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+
+    /// "expected X, found Y" helper.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can map itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts to the tree model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Converts from the tree model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("bool", value))
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::expected("null", other)),
+        }
+    }
+}
+
+macro_rules! impl_number_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_f64().ok_or_else(|| Error::expected("number", value))?;
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+impl_number_float!(f64, f32);
+
+macro_rules! impl_number_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_f64().ok_or_else(|| Error::expected("number", value))?;
+                // Fail loud on fractional or out-of-domain values rather
+                // than silently truncating/saturating through `as`.
+                if n.fract() != 0.0 || !n.is_finite() {
+                    return Err(Error::msg(format!(
+                        "expected integer ({}), found {n}", stringify!($t)
+                    )));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::msg(format!(
+                        "{n} out of range for {}", stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+impl_number_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::expected("string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg(format!(
+                "expected single-char string, found {s:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?;
+        if items.len() != N {
+            return Err(Error::msg(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(N);
+        for item in items {
+            out.push(T::from_value(item)?);
+        }
+        out.try_into()
+            .map_err(|_| Error::msg("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeMap<String, T> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Deserialize> Deserialize for BTreeMap<String, T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let map = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value))?;
+        map.iter()
+            .map(|(k, v)| Ok((k.clone(), T::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashMap<String, T> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Object(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Deserialize> Deserialize for HashMap<String, T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let map = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value))?;
+        map.iter()
+            .map(|(k, v)| Ok((k.clone(), T::from_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&Value::Number(2.0)).unwrap(),
+            Some(2.0)
+        );
+        assert_eq!(Some(3.0f64).to_value(), Value::Number(3.0));
+        assert_eq!(None::<f64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let a = [1.5f64, -2.0];
+        let v = a.to_value();
+        assert_eq!(<[f64; 2]>::from_value(&v).unwrap(), a);
+        assert!(<[f64; 3]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn integer_deserialize_is_strict() {
+        assert_eq!(u32::from_value(&Value::Number(3.0)).unwrap(), 3);
+        assert!(u32::from_value(&Value::Number(3.7)).is_err());
+        assert!(u64::from_value(&Value::Number(-1.0)).is_err());
+        assert!(u8::from_value(&Value::Number(256.0)).is_err());
+        assert!(i8::from_value(&Value::Number(-129.0)).is_err());
+        // Floats stay permissive.
+        assert_eq!(f64::from_value(&Value::Number(3.7)).unwrap(), 3.7);
+    }
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m = Map::new();
+        m.insert("b", Value::Number(1.0));
+        m.insert("a", Value::Number(2.0));
+        m.insert("b", Value::Number(3.0));
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(m.get("b"), Some(&Value::Number(3.0)));
+    }
+
+    #[test]
+    fn value_indexing() {
+        let mut obj = Map::new();
+        obj.insert("xs", Value::Array(vec![Value::Number(1.0)]));
+        let v = Value::Object(obj);
+        assert_eq!(v["xs"][0], Value::Number(1.0));
+        assert!(v["missing"].is_null());
+        assert!(v["xs"][9].is_null());
+    }
+}

@@ -1,0 +1,675 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stub.
+//!
+//! Implemented directly on `proc_macro` token trees (the build
+//! environment has no `syn`/`quote`). Supported shapes — the ones this
+//! workspace actually uses, plus the obvious neighbors:
+//!
+//! - named-field structs → JSON objects;
+//! - tuple structs: one field is a transparent newtype, N fields an
+//!   array; unit structs → `null`;
+//! - enums: externally tagged by default; `#[serde(untagged)]`;
+//!   `#[serde(tag = "...")]` (internally tagged) with optional
+//!   `rename_all = "snake_case" | "lowercase"`.
+//!
+//! Unsupported shapes (generics, field-level attributes, tuple variants
+//! in tagged enums) produce a `compile_error!` naming the limitation
+//! rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------
+
+struct Container {
+    name: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    untagged: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let mut attrs = ContainerAttrs::default();
+    // Leading attributes (doc comments arrive as `#[doc = ...]` too).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(&g.stream(), &mut attrs)?;
+                    i += 2;
+                } else {
+                    return Err("stray `#` in derive input".into());
+                }
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other}`")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generic type `{name}`"
+        ));
+    }
+
+    let data = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_top_level_items(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(&g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+
+    Ok(Container { name, attrs, data })
+}
+
+/// Parses one `#[...]` attribute body, recording serde container attrs.
+fn parse_serde_attr(stream: &TokenStream, attrs: &mut ContainerAttrs) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()), // some other attribute; ignore
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        return Ok(());
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        let key = match &inner[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => return Err(format!("unsupported serde attribute token `{other}`")),
+        };
+        if matches!(inner.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            let value = match inner.get(i + 2) {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    s.trim_matches('"').to_string()
+                }
+                other => return Err(format!("expected literal for serde `{key}`, got {other:?}")),
+            };
+            match key.as_str() {
+                "tag" => attrs.tag = Some(value),
+                "rename_all" => attrs.rename_all = Some(value),
+                other => return Err(format!("unsupported serde attribute `{other}`")),
+            }
+            i += 3;
+        } else {
+            match key.as_str() {
+                "untagged" => attrs.untagged = true,
+                other => return Err(format!("unsupported serde attribute `{other}`")),
+            }
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Splits a token stream on top-level commas. "Top-level" accounts for
+/// generic angle brackets, which are plain `Punct`s rather than groups
+/// (so the comma in `BTreeMap<String, V>` does not split).
+fn split_top_level(stream: &TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut items = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for token in stream.clone() {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                items.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        items.last_mut().unwrap().push(token);
+    }
+    items.retain(|item| !item.is_empty());
+    items
+}
+
+fn count_top_level_items(stream: &TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Rejects field/variant-level `#[serde(...)]` attributes: this stub
+/// does not implement them, and silently ignoring one (rename, skip,
+/// default, …) would produce wrong JSON with no diagnostic.
+fn reject_serde_attr(attr: Option<&TokenTree>, context: &str) -> Result<(), String> {
+    if let Some(TokenTree::Group(g)) = attr {
+        if matches!(
+            g.stream().into_iter().next(),
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+        ) {
+            return Err(format!(
+                "serde stub derive does not support {context}-level serde attributes"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts field names from a named-field body.
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        // Skip attributes and visibility.
+        loop {
+            match chunk.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    reject_serde_attr(chunk.get(i + 1), "field")?;
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(
+                        chunk.get(i),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        match (chunk.get(i), chunk.get(i + 1)) {
+            (Some(TokenTree::Ident(name)), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+                fields.push(name.to_string());
+            }
+            _ => return Err(format!("cannot parse struct field: {chunk:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: &TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        while matches!(chunk.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            reject_serde_attr(chunk.get(i + 1), "variant")?;
+            i += 2;
+        }
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("cannot parse enum variant: {other:?}")),
+        };
+        let kind = match chunk.get(i + 1) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(count_top_level_items(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Named(parse_named_fields(&g.stream())?)
+            }
+            other => return Err(format!("unsupported variant shape for `{name}`: {other:?}")),
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn rename(variant: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in variant.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => variant.to_lowercase(),
+        _ => variant.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = match parse_container(input) {
+        Ok(c) => c,
+        Err(e) => return compile_error(&e),
+    };
+    match generate_serialize(&container) {
+        Ok(code) => code.parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn generate_serialize(c: &Container) -> Result<String, String> {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::NamedStruct(fields) => {
+            let mut code = String::from("let mut map = ::serde::Map::new();\n");
+            for f in fields {
+                code.push_str(&format!(
+                    "map.insert({f:?}, ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            code.push_str("::serde::Value::Object(map)");
+            code
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => generate_enum_serialize(c, variants)?,
+    };
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    ))
+}
+
+fn generate_enum_serialize(c: &Container, variants: &[Variant]) -> Result<String, String> {
+    let name = &c.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let renamed = rename(vname, c.attrs.rename_all.as_deref());
+        let arm = if let Some(tag) = &c.attrs.tag {
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vname} => {{\n\
+                     let mut map = ::serde::Map::new();\n\
+                     map.insert({tag:?}, ::serde::Value::String({renamed:?}.to_string()));\n\
+                     ::serde::Value::Object(map)\n}}\n"
+                ),
+                VariantKind::Named(fields) => {
+                    let pat = fields.join(", ");
+                    let mut inserts = format!(
+                        "let mut map = ::serde::Map::new();\n\
+                         map.insert({tag:?}, ::serde::Value::String({renamed:?}.to_string()));\n"
+                    );
+                    for f in fields {
+                        inserts.push_str(&format!(
+                            "map.insert({f:?}, ::serde::Serialize::to_value({f}));\n"
+                        ));
+                    }
+                    format!(
+                        "{name}::{vname} {{ {pat} }} => {{\n{inserts}::serde::Value::Object(map)\n}}\n"
+                    )
+                }
+                VariantKind::Tuple(_) => {
+                    return Err(format!(
+                        "internally tagged enum `{name}` cannot have tuple variant `{vname}`"
+                    ))
+                }
+            }
+        } else if c.attrs.untagged {
+            match &v.kind {
+                VariantKind::Unit => format!("{name}::{vname} => ::serde::Value::Null,\n"),
+                VariantKind::Tuple(1) => {
+                    format!("{name}::{vname}(inner) => ::serde::Serialize::to_value(inner),\n")
+                }
+                VariantKind::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Array(vec![{}]),\n",
+                        binders.join(", "),
+                        items.join(", ")
+                    )
+                }
+                VariantKind::Named(fields) => {
+                    let pat = fields.join(", ");
+                    let mut inserts = String::from("let mut map = ::serde::Map::new();\n");
+                    for f in fields {
+                        inserts.push_str(&format!(
+                            "map.insert({f:?}, ::serde::Serialize::to_value({f}));\n"
+                        ));
+                    }
+                    format!(
+                        "{name}::{vname} {{ {pat} }} => {{\n{inserts}::serde::Value::Object(map)\n}}\n"
+                    )
+                }
+            }
+        } else {
+            // Externally tagged (serde default).
+            match &v.kind {
+                VariantKind::Unit => {
+                    format!("{name}::{vname} => ::serde::Value::String({renamed:?}.to_string()),\n")
+                }
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vname}(inner) => {{\n\
+                     let mut map = ::serde::Map::new();\n\
+                     map.insert({renamed:?}, ::serde::Serialize::to_value(inner));\n\
+                     ::serde::Value::Object(map)\n}}\n"
+                ),
+                VariantKind::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({binder_list}) => {{\n\
+                         let mut map = ::serde::Map::new();\n\
+                         map.insert({renamed:?}, ::serde::Value::Array(vec![{item_list}]));\n\
+                         ::serde::Value::Object(map)\n}}\n",
+                        binder_list = binders.join(", "),
+                        item_list = items.join(", ")
+                    )
+                }
+                VariantKind::Named(fields) => {
+                    let pat = fields.join(", ");
+                    let mut inserts = String::from("let mut inner = ::serde::Map::new();\n");
+                    for f in fields {
+                        inserts.push_str(&format!(
+                            "inner.insert({f:?}, ::serde::Serialize::to_value({f}));\n"
+                        ));
+                    }
+                    format!(
+                        "{name}::{vname} {{ {pat} }} => {{\n{inserts}\
+                         let mut map = ::serde::Map::new();\n\
+                         map.insert({renamed:?}, ::serde::Value::Object(inner));\n\
+                         ::serde::Value::Object(map)\n}}\n"
+                    )
+                }
+            }
+        };
+        arms.push_str(&arm);
+    }
+    Ok(format!("match self {{\n{arms}}}\n"))
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = match parse_container(input) {
+        Ok(c) => c,
+        Err(e) => return compile_error(&e),
+    };
+    match generate_deserialize(&container) {
+        Ok(code) => code.parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// `obj.get(field)` with Option-aware missing-field handling: absent
+/// keys deserialize from `Null` (so `Option` fields default to `None`)
+/// and other types produce a "missing field" error.
+fn field_expr(container: &str, field: &str) -> String {
+    format!(
+        "match obj.get({field:?}) {{\n\
+         Some(v) => ::serde::Deserialize::from_value(v)\
+         .map_err(|e| ::serde::Error::msg(format!(\"{container}.{field}: {{e}}\")))?,\n\
+         None => ::serde::Deserialize::from_value(&::serde::Value::Null)\
+         .map_err(|_| ::serde::Error::msg(\"missing field `{field}` in {container}\"))?,\n\
+         }}"
+    )
+}
+
+fn named_struct_literal(path: &str, container: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: {expr}", expr = field_expr(container, f)))
+        .collect();
+    format!("{path} {{\n{}\n}}", inits.join(",\n"))
+}
+
+fn generate_deserialize(c: &Container) -> Result<String, String> {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::NamedStruct(fields) => format!(
+            "let obj = value.as_object()\
+             .ok_or_else(|| ::serde::Error::expected(\"object ({name})\", value))?;\n\
+             Ok({lit})",
+            lit = named_struct_literal(name, name, fields)
+        ),
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Data::TupleStruct(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array()\
+                 .ok_or_else(|| ::serde::Error::expected(\"array ({name})\", value))?;\n\
+                 if items.len() != {n} {{\n\
+                 return Err(::serde::Error::msg(format!(\
+                 \"expected {n} elements for {name}, found {{}}\", items.len())));\n}}\n\
+                 Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Data::UnitStruct => format!(
+            "match value {{\n\
+             ::serde::Value::Null => Ok({name}),\n\
+             other => Err(::serde::Error::expected(\"null ({name})\", other)),\n}}"
+        ),
+        Data::Enum(variants) => generate_enum_deserialize(c, variants)?,
+    };
+    Ok(format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    ))
+}
+
+fn generate_enum_deserialize(c: &Container, variants: &[Variant]) -> Result<String, String> {
+    let name = &c.name;
+    if let Some(tag) = &c.attrs.tag {
+        let mut arms = String::new();
+        for v in variants {
+            let vname = &v.name;
+            let renamed = rename(vname, c.attrs.rename_all.as_deref());
+            let arm = match &v.kind {
+                VariantKind::Unit => format!("{renamed:?} => Ok({name}::{vname}),\n"),
+                VariantKind::Named(fields) => format!(
+                    "{renamed:?} => Ok({lit}),\n",
+                    lit = named_struct_literal(&format!("{name}::{vname}"), name, fields)
+                ),
+                VariantKind::Tuple(_) => {
+                    return Err(format!(
+                        "internally tagged enum `{name}` cannot have tuple variant `{vname}`"
+                    ))
+                }
+            };
+            arms.push_str(&arm);
+        }
+        return Ok(format!(
+            "let obj = value.as_object()\
+             .ok_or_else(|| ::serde::Error::expected(\"object ({name})\", value))?;\n\
+             let tag = obj.get({tag:?})\
+             .and_then(|t| t.as_str())\
+             .ok_or_else(|| ::serde::Error::msg(\"missing tag `{tag}` in {name}\"))?;\n\
+             match tag {{\n{arms}\
+             other => Err(::serde::Error::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n}}"
+        ));
+    }
+
+    if c.attrs.untagged {
+        let mut tries = String::new();
+        for v in variants {
+            let vname = &v.name;
+            let attempt = match &v.kind {
+                VariantKind::Unit => format!(
+                    "if matches!(value, ::serde::Value::Null) {{ return Ok({name}::{vname}); }}\n"
+                ),
+                VariantKind::Tuple(1) => format!(
+                    "if let Ok(inner) = ::serde::Deserialize::from_value(value) {{\n\
+                     return Ok({name}::{vname}(inner));\n}}\n"
+                ),
+                VariantKind::Tuple(n) => {
+                    let gets: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])"))
+                        .collect();
+                    format!(
+                        "if let Some(items) = value.as_array() {{\n\
+                         if items.len() == {n} {{\n\
+                         if let ({oks}) = ({gets}) {{\n\
+                         return Ok({name}::{vname}({unwraps}));\n}}\n}}\n}}\n",
+                        oks = (0..*n)
+                            .map(|i| format!("Ok(v{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        gets = gets.join(", "),
+                        unwraps = (0..*n)
+                            .map(|i| format!("v{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
+                VariantKind::Named(fields) => {
+                    let lit = named_struct_literal(&format!("{name}::{vname}"), name, fields);
+                    let keys: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("obj.contains_key({f:?})"))
+                        .collect();
+                    format!(
+                        "if let Some(obj) = value.as_object() {{\n\
+                         if {cond} {{\n\
+                         let attempt = (|| -> ::std::result::Result<Self, ::serde::Error> {{ Ok({lit}) }})();\n\
+                         if let Ok(v) = attempt {{ return Ok(v); }}\n}}\n}}\n",
+                        cond = if keys.is_empty() { "true".to_string() } else { keys.join(" && ") }
+                    )
+                }
+            };
+            tries.push_str(&attempt);
+        }
+        return Ok(format!(
+            "{tries}Err(::serde::Error::msg(format!(\
+             \"no {name} variant matched a {{}}\", value.kind())))"
+        ));
+    }
+
+    // Externally tagged (serde default).
+    let mut string_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let renamed = rename(vname, c.attrs.rename_all.as_deref());
+        match &v.kind {
+            VariantKind::Unit => {
+                string_arms.push_str(&format!("{renamed:?} => return Ok({name}::{vname}),\n"));
+            }
+            VariantKind::Tuple(1) => keyed_arms.push_str(&format!(
+                "if let Some(inner) = obj.get({renamed:?}) {{\n\
+                 return Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?));\n}}\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let gets: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                keyed_arms.push_str(&format!(
+                    "if let Some(inner) = obj.get({renamed:?}) {{\n\
+                     let items = inner.as_array()\
+                     .ok_or_else(|| ::serde::Error::expected(\"array\", inner))?;\n\
+                     if items.len() != {n} {{\n\
+                     return Err(::serde::Error::msg(\"wrong tuple arity for {name}::{vname}\"));\n}}\n\
+                     return Ok({name}::{vname}({gets}));\n}}\n",
+                    gets = gets.join(", ")
+                ));
+            }
+            VariantKind::Named(fields) => {
+                let lit = named_struct_literal(&format!("{name}::{vname}"), name, fields);
+                keyed_arms.push_str(&format!(
+                    "if let Some(inner) = obj.get({renamed:?}) {{\n\
+                     let obj = inner.as_object()\
+                     .ok_or_else(|| ::serde::Error::expected(\"object\", inner))?;\n\
+                     return Ok({lit});\n}}\n"
+                ));
+            }
+        }
+    }
+    Ok(format!(
+        "if let Some(s) = value.as_str() {{\n\
+         match s {{\n{string_arms}_ => {{}}\n}}\n}}\n\
+         if let Some(obj) = value.as_object() {{\n{keyed_arms}}}\n\
+         Err(::serde::Error::msg(format!(\"no {name} variant matched a {{}}\", value.kind())))"
+    ))
+}
