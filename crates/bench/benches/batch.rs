@@ -1,0 +1,58 @@
+//! Parallel batch-sampling throughput.
+//!
+//! Rejection sampling is embarrassingly parallel (every candidate scene
+//! is an independent draw), and `Sampler::sample_batch` keeps the
+//! seeded stream thread-count-invariant — so worker count is a pure
+//! throughput knob. This bench sweeps 1/2/4/8 workers over the
+//! badly-parked-car scenario (A.4) and reports scenes/sec per worker
+//! count; on a multi-core host 4 workers should clear 1.5x the
+//! single-worker rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scenic_core::sampler::{Sampler, SamplerConfig};
+use scenic_gta::{scenarios, MapConfig, World};
+
+/// Scenes per batch: large enough to amortize thread spawn, small
+/// enough to keep the stub-criterion calibration pass quick.
+const BATCH: usize = 16;
+
+fn bench_batch_workers(c: &mut Criterion) {
+    let world = World::generate(MapConfig::default());
+    let scenario =
+        scenic_core::compile_with_world(scenarios::BADLY_PARKED, world.core()).expect("compiles");
+
+    // Direct scenes/sec report (what the paper-style tables want),
+    // independent of the criterion timing below.
+    println!("batch throughput, {BATCH}-scene batches of badly_parked (A.4):");
+    for jobs in [1usize, 2, 4, 8] {
+        let mut sampler = Sampler::new(&scenario)
+            .with_seed(7)
+            .with_config(SamplerConfig {
+                max_iterations: 100_000,
+            });
+        let start = std::time::Instant::now();
+        let mut scenes = 0usize;
+        while start.elapsed() < std::time::Duration::from_millis(400) {
+            scenes += sampler.sample_batch(BATCH, jobs).expect("batch").len();
+        }
+        let rate = scenes as f64 / start.elapsed().as_secs_f64();
+        println!("  jobs={jobs}: {rate:8.1} scenes/sec");
+    }
+
+    let mut group = c.benchmark_group("batch_sampling");
+    group.sample_size(10);
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("badly_parked_jobs{jobs}"), |b| {
+            let mut sampler = Sampler::new(&scenario)
+                .with_seed(7)
+                .with_config(SamplerConfig {
+                    max_iterations: 100_000,
+                });
+            b.iter(|| sampler.sample_batch(BATCH, jobs).expect("batch"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_workers);
+criterion_main!(benches);

@@ -9,14 +9,18 @@ use crate::env::{define, EnvRef};
 use crate::error::{RunResult, ScenicError};
 use crate::value::{DistSpec, NativeCtx, NativeFn, Value};
 use std::rc::Rc;
+use std::sync::Arc;
 
 fn native(
     name: &str,
-    f: impl Fn(&mut NativeCtx<'_>, Vec<Value>, Vec<(String, Value)>) -> RunResult<Value> + 'static,
+    f: impl Fn(&mut NativeCtx<'_>, Vec<Value>, Vec<(String, Value)>) -> RunResult<Value>
+        + Send
+        + Sync
+        + 'static,
 ) -> Value {
     Value::Native(NativeFn {
         name: name.to_string(),
-        imp: Rc::new(f),
+        imp: Arc::new(f),
     })
 }
 

@@ -24,6 +24,7 @@ use scenic_lang::ast::{BinOp, BoxPoint, CmpOp, Expr, Program, Side, Specifier, S
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Maximum user-function call depth.
 ///
@@ -38,15 +39,28 @@ const EULER_STEPS: usize = 4;
 
 /// A compiled scenario: parsed program plus its world and pre-parsed
 /// libraries.
+///
+/// Scenarios are immutable once compiled and `Send + Sync`, so a single
+/// compiled scenario can be shared by reference across the
+/// [`crate::sampler::Sampler::sample_batch`] worker threads; each run
+/// spins up its own thread-local [`Interpreter`].
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// The user program.
-    pub program: Rc<Program>,
+    pub program: Arc<Program>,
     /// The world it runs against.
     pub world: World,
-    prelude: Rc<Program>,
-    module_programs: HashMap<String, Rc<Program>>,
+    prelude: Arc<Program>,
+    module_programs: HashMap<String, Arc<Program>>,
 }
+
+// The parallel batch sampler relies on this; a non-thread-safe field
+// sneaking back into the compiled artifacts must fail to compile here,
+// not data-race at runtime.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Scenario>();
+};
 
 /// Compiles a scenario against a bare world (no libraries, unbounded
 /// workspace). Useful for tests and geometry-only scenarios.
@@ -72,12 +86,12 @@ pub fn compile(source: &str) -> RunResult<Scenario> {
 /// # Ok::<(), scenic_core::ScenicError>(())
 /// ```
 pub fn compile_with_world(source: &str, world: &World) -> RunResult<Scenario> {
-    let program = Rc::new(scenic_lang::parse(source)?);
-    let prelude = Rc::new(scenic_lang::parse(PRELUDE).expect("prelude parses"));
+    let program = Arc::new(scenic_lang::parse(source)?);
+    let prelude = Arc::new(scenic_lang::parse(PRELUDE).expect("prelude parses"));
     let mut module_programs = HashMap::new();
     for (name, module) in &world.modules {
         if let Some(src) = &module.source {
-            module_programs.insert(name.clone(), Rc::new(scenic_lang::parse(src)?));
+            module_programs.insert(name.clone(), Arc::new(scenic_lang::parse(src)?));
         }
     }
     Ok(Scenario {
@@ -133,7 +147,7 @@ enum Action {
         gap: f64,
     },
     /// `facing <vectorField>` — needs `position`.
-    FacingField(Rc<VectorField>),
+    FacingField(Arc<VectorField>),
     /// `facing toward/away from <vector>` — needs `position`.
     FacingToward { target: Vec2, away: bool },
     /// `apparently facing H [from V]` — needs `position`.
@@ -211,14 +225,14 @@ impl<'s, 'r> Interpreter<'s, 'r> {
         define(
             &self.globals,
             "workspace",
-            Value::Region(Rc::clone(&self.scenario.world.workspace)),
+            Value::Region(Arc::clone(&self.scenario.world.workspace)),
         );
-        let prelude = Rc::clone(&self.scenario.prelude);
+        let prelude = Arc::clone(&self.scenario.prelude);
         self.exec_block(&prelude.statements, &self.globals.clone())?;
         for name in self.scenario.world.auto_imports.clone() {
             self.import_module(&name, 0)?;
         }
-        let program = Rc::clone(&self.scenario.program);
+        let program = Arc::clone(&self.scenario.program);
         self.exec_block(&program.statements, &self.globals.clone())?;
         self.finalize()
     }
@@ -423,7 +437,7 @@ impl<'s, 'r> Interpreter<'s, 'r> {
             })?
             .clone();
         for (var, value) in &module.natives {
-            define(&self.globals, var, value.clone());
+            define(&self.globals, var, value.to_value());
         }
         if let Some(program) = self.scenario.module_programs.get(name).cloned() {
             self.exec_block(&program.statements, &self.globals.clone())?;
@@ -621,7 +635,7 @@ impl<'s, 'r> Interpreter<'s, 'r> {
             Expr::Visible(r) => {
                 let region = self.eval(r, env)?.as_region()?;
                 let viewer = self.ego()?.borrow().viewer()?;
-                Ok(Value::Region(Rc::new(
+                Ok(Value::Region(Arc::new(
                     (*region).clone().visible_from(viewer.visible_region()),
                 )))
             }
@@ -629,7 +643,7 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                 let region = self.eval(r, env)?.as_region()?;
                 let from = self.eval(p, env)?.as_object()?;
                 let viewer = from.borrow().viewer()?;
-                Ok(Value::Region(Rc::new(
+                Ok(Value::Region(Arc::new(
                     (*region).clone().visible_from(viewer.visible_region()),
                 )))
             }
@@ -1283,7 +1297,7 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                     Ok(v) => match v.unwrap_sample() {
                         Value::Field(f) => (
                             meta(vec!["heading"], vec![], vec!["position"]),
-                            Action::FacingField(Rc::clone(f)),
+                            Action::FacingField(Arc::clone(f)),
                         ),
                         _ => {
                             let h = v.as_heading()?;

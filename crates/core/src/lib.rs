@@ -45,10 +45,10 @@ pub mod world;
 
 pub use error::{Rejection, RunResult, ScenicError};
 pub use interp::{compile, compile_with_world, Interpreter, Scenario};
-pub use sampler::{Sampler, SamplerConfig, SamplerStats};
+pub use sampler::{derive_scene_seed, BatchReport, Sampler, SamplerConfig, SamplerStats};
 pub use scene::{PropValue, Scene, SceneObject};
 pub use value::Value;
-pub use world::{Module, World};
+pub use world::{Module, NativeValue, World};
 
 #[cfg(test)]
 mod tests {
@@ -396,7 +396,7 @@ mod tests {
     #[test]
     fn modules_with_natives_and_source() {
         use scenic_geom::{Heading, Region, Vec2, VectorField};
-        use std::rc::Rc;
+        use std::sync::Arc;
         let mut world = World::bare();
         world.add_module(
             "lib",
@@ -404,11 +404,11 @@ mod tests {
                 natives: vec![
                     (
                         "road".into(),
-                        Value::Region(Rc::new(Region::rectangle(Vec2::ZERO, 10.0, 100.0))),
+                        NativeValue::Region(Arc::new(Region::rectangle(Vec2::ZERO, 10.0, 100.0))),
                     ),
                     (
                         "roadDir".into(),
-                        Value::Field(Rc::new(VectorField::Constant(Heading::from_degrees(
+                        NativeValue::Field(Arc::new(VectorField::Constant(Heading::from_degrees(
                             45.0,
                         )))),
                     ),
@@ -431,7 +431,7 @@ mod tests {
     #[test]
     fn on_region_orientation_is_optional() {
         use scenic_geom::{Heading, Polygon, Region, Vec2, VectorField};
-        use std::rc::Rc;
+        use std::sync::Arc;
         let region = Region::polygons_with_orientation(
             vec![Polygon::rectangle(Vec2::ZERO, 10.0, 10.0)],
             VectorField::Constant(Heading::from_degrees(30.0)),
@@ -440,7 +440,7 @@ mod tests {
         world.add_module(
             "lib",
             Module {
-                natives: vec![("road".into(), Value::Region(Rc::new(region)))],
+                natives: vec![("road".into(), NativeValue::Region(Arc::new(region)))],
                 source: None,
             },
         );
@@ -465,7 +465,7 @@ mod tests {
     #[test]
     fn badly_parked_style_scenario() {
         use scenic_geom::{Heading, Polygon, Region, Vec2, VectorField};
-        use std::rc::Rc;
+        use std::sync::Arc;
         // A "curb" along x = 3, road heading North.
         let curb = Region::polygons_with_orientation(
             vec![Polygon::rectangle(Vec2::new(3.0, 25.0), 0.4, 50.0)],
@@ -475,7 +475,7 @@ mod tests {
         world.add_module(
             "lib",
             Module {
-                natives: vec![("curb".into(), Value::Region(Rc::new(curb)))],
+                natives: vec![("curb".into(), NativeValue::Region(Arc::new(curb)))],
                 source: None,
             },
         );
@@ -499,14 +499,16 @@ mod tests {
     #[test]
     fn field_relative_heading_in_specifier() {
         use scenic_geom::{Heading, VectorField};
-        use std::rc::Rc;
+        use std::sync::Arc;
         let mut world = World::bare();
         world.add_module(
             "lib",
             Module {
                 natives: vec![(
                     "roadDirection".into(),
-                    Value::Field(Rc::new(VectorField::Constant(Heading::from_degrees(40.0)))),
+                    NativeValue::Field(Arc::new(VectorField::Constant(Heading::from_degrees(
+                        40.0,
+                    )))),
                 )],
                 source: None,
             },
@@ -525,14 +527,14 @@ mod tests {
     #[test]
     fn needs_self_error_escapes_at_top_level() {
         use scenic_geom::{Heading, VectorField};
-        use std::rc::Rc;
+        use std::sync::Arc;
         let mut world = World::bare();
         world.add_module(
             "lib",
             Module {
                 natives: vec![(
                     "field".into(),
-                    Value::Field(Rc::new(VectorField::Constant(Heading::NORTH))),
+                    NativeValue::Field(Arc::new(VectorField::Constant(Heading::NORTH))),
                 )],
                 source: None,
             },

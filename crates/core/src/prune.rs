@@ -20,13 +20,12 @@
 //! which scenes are accepted — only how often the sampler wastes a run.
 
 use crate::error::RunResult;
-use crate::value::Value;
-use crate::world::World;
+use crate::world::{NativeValue, World};
 use scenic_geom::clip::{dilate_convex, restrict_to_dilation};
 use scenic_geom::field::FieldCell;
 use scenic_geom::{Heading, Polygon, Region};
 use scenic_lang::ast::{Expr, Program, Specifier, StmtKind};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Parameters for the §5.2 pruning techniques.
 #[derive(Debug, Clone, Copy)]
@@ -292,7 +291,7 @@ pub fn world_with_region(
         .ok_or_else(|| {
             crate::error::ScenicError::runtime(format!("no native `{name}` in `{module}`"))
         })?;
-    slot.1 = Value::Region(Rc::new(region));
+    slot.1 = NativeValue::Region(Arc::new(region));
     Ok(new_world)
 }
 

@@ -5,12 +5,25 @@
 //! satisfied." The sampler wraps [`Scenario::generate`] in a retry loop
 //! with an iteration budget and per-reason rejection statistics —
 //! the statistics reproduce the pruning measurements of Appendix D.
+//!
+//! # Batch sampling and determinism
+//!
+//! Rejection sampling is embarrassingly parallel: every candidate scene
+//! is an independent draw. [`Sampler::sample_batch`] exploits this by
+//! fanning scene draws across a [`std::thread::scope`] worker pool while
+//! staying **bit-reproducible**: the RNG stream of scene `i` is derived
+//! *by index* from the sampler's root seed via a SplitMix64 stream split
+//! ([`derive_scene_seed`]), so the output is byte-identical for any
+//! worker count. The scoped-thread design needs no extra dependencies
+//! and no `unsafe`: a compiled [`Scenario`] is `Send + Sync`, each
+//! worker builds its own thread-local interpreter state per run.
 
 use crate::error::{Rejection, RunResult, ScenicError};
 use crate::interp::Scenario;
 use crate::scene::Scene;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Sampler configuration.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +76,18 @@ impl SamplerStats {
         }
     }
 
+    /// Adds another run's counters into this one (used to reduce
+    /// per-scene batch statistics in index order).
+    pub fn merge(&mut self, other: &SamplerStats) {
+        self.scenes += other.scenes;
+        self.iterations += other.iterations;
+        self.requirement_rejections += other.requirement_rejections;
+        self.collision_rejections += other.collision_rejections;
+        self.containment_rejections += other.containment_rejections;
+        self.visibility_rejections += other.visibility_rejections;
+        self.empty_region_rejections += other.empty_region_rejections;
+    }
+
     fn record(&mut self, rejection: &Rejection) {
         match rejection {
             Rejection::Requirement { .. } => self.requirement_rejections += 1,
@@ -72,6 +97,82 @@ impl SamplerStats {
             Rejection::EmptyRegion => self.empty_region_rejections += 1,
         }
     }
+}
+
+/// SplitMix64 increment (the golden-ratio gamma of the reference
+/// implementation).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the RNG seed for scene `index` of a batch rooted at
+/// `root_seed`.
+///
+/// This is a SplitMix64 stream split: the `index`-th point of the
+/// SplitMix64 sequence starting at `root_seed`, pushed through the
+/// SplitMix64 finalizer. Both the index map (`root + (index+1)·γ`, γ
+/// odd) and the finalizer are bijections on `u64`, so for a fixed root
+/// seed **distinct scene indices can never collide** — each scene gets
+/// its own independent child stream regardless of which worker thread
+/// draws it.
+#[must_use]
+pub fn derive_scene_seed(root_seed: u64, index: u64) -> u64 {
+    let mut z = root_seed.wrapping_add(index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The outcome of a [`Sampler::sample_batch_report`] call: accepted
+/// scenes plus the per-scene rejection statistics, both in scene-index
+/// order.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// The accepted scenes, ordered by scene index.
+    pub scenes: Vec<Scene>,
+    /// Rejection statistics per scene, aligned with `scenes`.
+    pub per_scene: Vec<SamplerStats>,
+}
+
+impl BatchReport {
+    /// Sum of the per-scene statistics.
+    pub fn total_stats(&self) -> SamplerStats {
+        let mut total = SamplerStats::default();
+        for s in &self.per_scene {
+            total.merge(s);
+        }
+        total
+    }
+}
+
+/// One complete rejection-sampling attempt for a single scene: the
+/// worker-side core of both [`Sampler::sample_seeded`] and
+/// [`Sampler::sample_batch`]. Free of `&mut Sampler` state — all it
+/// needs is the shared scenario, the config, and the scene's own seed —
+/// so any thread can run it.
+fn sample_scene(
+    scenario: &Scenario,
+    config: SamplerConfig,
+    seed: u64,
+) -> (RunResult<Scene>, SamplerStats) {
+    let mut stats = SamplerStats::default();
+    let mut seed_rng = StdRng::seed_from_u64(seed);
+    for _ in 0..config.max_iterations {
+        stats.iterations += 1;
+        let mut run_rng = StdRng::seed_from_u64(seed_rng.gen());
+        match scenario.generate(&mut run_rng) {
+            Ok(scene) => {
+                stats.scenes += 1;
+                return (Ok(scene), stats);
+            }
+            Err(ScenicError::Rejected(r)) => stats.record(&r),
+            Err(other) => return (Err(other), stats),
+        }
+    }
+    (
+        Err(ScenicError::MaxIterationsExceeded {
+            limit: config.max_iterations,
+        }),
+        stats,
+    )
 }
 
 /// A rejection sampler over a compiled scenario.
@@ -87,22 +188,44 @@ impl SamplerStats {
 /// assert_eq!(scene.objects.len(), 2);
 /// # Ok::<(), scenic_core::ScenicError>(())
 /// ```
+///
+/// Deterministic parallel batches derive every scene's RNG stream from
+/// the root seed by index, so the worker count never changes the output:
+///
+/// ```
+/// use scenic_core::sampler::Sampler;
+///
+/// let scenario = scenic_core::compile("ego = Object at 0 @ 0\nObject at 0 @ (5, 9)\n")?;
+/// let serial = Sampler::new(&scenario).with_seed(3).sample_batch(4, 1)?;
+/// let parallel = Sampler::new(&scenario).with_seed(3).sample_batch(4, 4)?;
+/// assert_eq!(
+///     serial.iter().map(|s| s.to_json()).collect::<Vec<_>>(),
+///     parallel.iter().map(|s| s.to_json()).collect::<Vec<_>>(),
+/// );
+/// # Ok::<(), scenic_core::ScenicError>(())
+/// ```
 #[derive(Debug)]
 pub struct Sampler<'s> {
     scenario: &'s Scenario,
     config: SamplerConfig,
+    /// Root of the per-index seed-derivation scheme (and the seed of
+    /// `rng` at construction time).
+    root_seed: u64,
+    /// Stateful stream for the legacy sequential `sample` path.
     rng: StdRng,
     stats: SamplerStats,
 }
 
 impl<'s> Sampler<'s> {
     /// Creates a sampler with default configuration and an
-    /// entropy-seeded RNG.
+    /// entropy-derived root seed.
     pub fn new(scenario: &'s Scenario) -> Self {
+        let root_seed = StdRng::from_entropy().gen();
         Sampler {
             scenario,
             config: SamplerConfig::default(),
-            rng: StdRng::from_entropy(),
+            root_seed,
+            rng: StdRng::seed_from_u64(root_seed),
             stats: SamplerStats::default(),
         }
     }
@@ -113,10 +236,17 @@ impl<'s> Sampler<'s> {
         self
     }
 
-    /// Reseeds the internal RNG (for reproducible streams).
+    /// Sets the root seed (for reproducible streams): reseeds the
+    /// internal RNG and re-roots the `sample_batch` seed derivation.
     pub fn with_seed(mut self, seed: u64) -> Self {
+        self.root_seed = seed;
         self.rng = StdRng::seed_from_u64(seed);
         self
+    }
+
+    /// The root seed scene seeds derive from (see [`derive_scene_seed`]).
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
     }
 
     /// Statistics accumulated so far.
@@ -163,32 +293,226 @@ impl<'s> Sampler<'s> {
     ///
     /// Same as [`Sampler::sample`].
     pub fn sample_seeded(&mut self, seed: u64) -> RunResult<Scene> {
-        let mut seed_rng = StdRng::seed_from_u64(seed);
-        for _ in 0..self.config.max_iterations {
-            self.stats.iterations += 1;
-            let mut run_rng = StdRng::seed_from_u64(seed_rng.gen());
-            match self.scenario.generate(&mut run_rng) {
-                Ok(scene) => {
-                    self.stats.scenes += 1;
-                    return Ok(scene);
-                }
-                Err(ScenicError::Rejected(r)) => {
-                    self.stats.record(&r);
-                }
-                Err(other) => return Err(other),
-            }
-        }
-        Err(ScenicError::MaxIterationsExceeded {
-            limit: self.config.max_iterations,
-        })
+        let (result, stats) = sample_scene(self.scenario, self.config, seed);
+        self.stats.merge(&stats);
+        result
     }
 
-    /// Generates `n` scenes.
+    /// Generates `n` scenes from the sampler's sequential RNG stream.
     ///
     /// # Errors
     ///
     /// Stops at the first hard error or exhausted budget.
     pub fn sample_many(&mut self, n: usize) -> RunResult<Vec<Scene>> {
         (0..n).map(|_| self.sample()).collect()
+    }
+
+    /// Generates `n` scenes across `jobs` worker threads,
+    /// deterministically: scene `i` is always drawn from
+    /// `derive_scene_seed(root_seed, i)`, so the result is byte-identical
+    /// for every `jobs` value (including 1). Statistics accumulate as if
+    /// the scenes were drawn sequentially in index order.
+    ///
+    /// `jobs` is clamped to `1..=n`; pass
+    /// `std::thread::available_parallelism()` for a sensible default.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-index failing scene (budget exhaustion or
+    /// program error); work past that index is cancelled and excluded
+    /// from the statistics, again independent of `jobs`.
+    pub fn sample_batch(&mut self, n: usize, jobs: usize) -> RunResult<Vec<Scene>> {
+        self.sample_batch_report(n, jobs).map(|r| r.scenes)
+    }
+
+    /// Like [`Sampler::sample_batch`], but also returns per-scene
+    /// rejection statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sampler::sample_batch`].
+    pub fn sample_batch_report(&mut self, n: usize, jobs: usize) -> RunResult<BatchReport> {
+        let jobs = jobs.clamp(1, n.max(1));
+        let slots = if jobs == 1 {
+            self.batch_serial(n)
+        } else {
+            self.batch_parallel(n, jobs)
+        };
+
+        // Deterministic reduction in scene-index order: merge statistics
+        // and collect scenes up to (and including) the first failure.
+        // Slots past a failure may or may not have been computed
+        // depending on worker timing; ignoring them keeps scenes, error,
+        // and statistics all invariant in `jobs`.
+        let mut report = BatchReport {
+            scenes: Vec::with_capacity(n),
+            per_scene: Vec::with_capacity(n),
+        };
+        for slot in slots {
+            match slot {
+                Some((Ok(scene), stats)) => {
+                    self.stats.merge(&stats);
+                    report.per_scene.push(stats);
+                    report.scenes.push(scene);
+                }
+                Some((Err(e), stats)) => {
+                    self.stats.merge(&stats);
+                    return Err(e);
+                }
+                None => unreachable!("scene slot below first error left uncomputed"),
+            }
+        }
+        Ok(report)
+    }
+
+    /// In-thread batch: identical semantics to the parallel path, with
+    /// early exit at the first error.
+    fn batch_serial(&self, n: usize) -> Vec<Option<(RunResult<Scene>, SamplerStats)>> {
+        let mut slots: Vec<Option<(RunResult<Scene>, SamplerStats)>> = Vec::new();
+        for index in 0..n {
+            let seed = derive_scene_seed(self.root_seed, index as u64);
+            let outcome = sample_scene(self.scenario, self.config, seed);
+            let failed = outcome.0.is_err();
+            slots.push(Some(outcome));
+            if failed {
+                break;
+            }
+        }
+        slots
+    }
+
+    /// Scoped worker pool over an atomic work counter. Workers pull the
+    /// next scene index, derive its seed, and run a thread-local
+    /// interpreter; after any failure, indices above the lowest failing
+    /// one are abandoned (their results could never be reported).
+    fn batch_parallel(
+        &self,
+        n: usize,
+        jobs: usize,
+    ) -> Vec<Option<(RunResult<Scene>, SamplerStats)>> {
+        let scenario = self.scenario;
+        let config = self.config;
+        let root_seed = self.root_seed;
+        let next_index = AtomicUsize::new(0);
+        let first_error = AtomicUsize::new(usize::MAX);
+
+        let mut slots: Vec<Option<(RunResult<Scene>, SamplerStats)>> = Vec::new();
+        slots.resize_with(n, || None);
+
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let next_index = &next_index;
+                    let first_error = &first_error;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let index = next_index.fetch_add(1, Ordering::Relaxed);
+                            // `first_error` only ever decreases, so once
+                            // an index is past it every later index is
+                            // too: stop pulling work.
+                            if index >= n || index > first_error.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let seed = derive_scene_seed(root_seed, index as u64);
+                            let outcome = sample_scene(scenario, config, seed);
+                            if outcome.0.is_err() {
+                                first_error.fetch_min(index, Ordering::AcqRel);
+                            }
+                            local.push((index, outcome));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for worker in workers {
+                for (index, outcome) in worker.join().expect("batch worker panicked") {
+                    slots[index] = Some(outcome);
+                }
+            }
+        });
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_never_collide_in_small_windows() {
+        let mut seen = std::collections::HashSet::new();
+        for index in 0..4096u64 {
+            assert!(seen.insert(derive_scene_seed(99, index)));
+        }
+    }
+
+    #[test]
+    fn batch_matches_seeded_draws() {
+        let scenario = crate::compile("ego = Object at 0 @ 0\nObject at 0 @ (4, 9)\n").unwrap();
+        let mut sampler = Sampler::new(&scenario).with_seed(17);
+        let batch = sampler.sample_batch(3, 1).unwrap();
+        for (i, scene) in batch.iter().enumerate() {
+            let expected = Sampler::new(&scenario)
+                .sample_seeded(derive_scene_seed(17, i as u64))
+                .unwrap();
+            assert_eq!(scene.to_json(), expected.to_json());
+        }
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let scenario = crate::compile("ego = Object at 0 @ 0\nObject at 0 @ (4, 9)\n").unwrap();
+        let serial = Sampler::new(&scenario)
+            .with_seed(5)
+            .sample_batch_report(6, 1)
+            .unwrap();
+        for jobs in [2, 3, 8] {
+            let parallel = Sampler::new(&scenario)
+                .with_seed(5)
+                .sample_batch_report(6, jobs)
+                .unwrap();
+            let a: Vec<String> = serial.scenes.iter().map(Scene::to_json).collect();
+            let b: Vec<String> = parallel.scenes.iter().map(Scene::to_json).collect();
+            assert_eq!(a, b, "jobs={jobs} changed the batch");
+            assert_eq!(serial.per_scene, parallel.per_scene);
+        }
+    }
+
+    #[test]
+    fn batch_error_is_thread_count_invariant() {
+        // Unsatisfiable: two objects pinned to the same spot.
+        let scenario = crate::compile("ego = Object at 0 @ 0\nObject at 0 @ 0.5\n").unwrap();
+        for jobs in [1, 4] {
+            let mut sampler = Sampler::new(&scenario)
+                .with_seed(1)
+                .with_config(SamplerConfig { max_iterations: 5 });
+            let err = sampler.sample_batch(4, jobs).unwrap_err();
+            assert!(matches!(
+                err,
+                ScenicError::MaxIterationsExceeded { limit: 5 }
+            ));
+            // Only scene 0's attempts count: later indices are cancelled.
+            assert_eq!(sampler.stats().iterations, 5, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn batch_stats_accumulate_on_sampler() {
+        let scenario = crate::compile("ego = Object at 0 @ 0\nObject at 0 @ (4, 9)\n").unwrap();
+        let mut sampler = Sampler::new(&scenario).with_seed(2);
+        let report = sampler.sample_batch_report(4, 2).unwrap();
+        assert_eq!(report.scenes.len(), 4);
+        assert_eq!(report.per_scene.len(), 4);
+        assert_eq!(sampler.stats(), report.total_stats());
+        assert_eq!(sampler.stats().scenes, 4);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let scenario = crate::compile("ego = Object at 0 @ 0\n").unwrap();
+        let report = Sampler::new(&scenario).sample_batch_report(0, 8).unwrap();
+        assert!(report.scenes.is_empty());
+        assert!(report.per_scene.is_empty());
     }
 }

@@ -13,6 +13,7 @@ use scenic_geom::{Region, Vec2, VectorField};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A distribution specification (Table 1).
 #[derive(Debug, Clone)]
@@ -186,8 +187,13 @@ pub struct NativeCtx<'a> {
 }
 
 /// Signature of native (Rust-implemented) functions callable from Scenic.
-pub type NativeFnImpl =
-    Rc<dyn Fn(&mut NativeCtx<'_>, Vec<Value>, Vec<(String, Value)>) -> RunResult<Value>>;
+///
+/// The `Send + Sync` bound lets native functions live inside a compiled
+/// [`crate::World`] shared across `sample_batch` worker threads; the
+/// *returned* [`Value`]s are still thread-local interpreter state.
+pub type NativeFnImpl = Arc<
+    dyn Fn(&mut NativeCtx<'_>, Vec<Value>, Vec<(String, Value)>) -> RunResult<Value> + Send + Sync,
+>;
 
 /// A named native function.
 #[derive(Clone)]
@@ -238,10 +244,10 @@ pub enum Value {
     Str(Rc<str>),
     /// Vector (`X @ Y`).
     Vector(Vec2),
-    /// Region.
-    Region(Rc<Region>),
-    /// Vector field.
-    Field(Rc<VectorField>),
+    /// Region (`Arc`: regions also appear in thread-shared worlds).
+    Region(Arc<Region>),
+    /// Vector field (`Arc`: fields also appear in thread-shared worlds).
+    Field(Arc<VectorField>),
     /// List.
     List(Rc<Vec<Value>>),
     /// String-keyed dictionary / namespace.
@@ -333,9 +339,9 @@ impl Value {
     }
 
     /// Region coercion.
-    pub fn as_region(&self) -> RunResult<Rc<Region>> {
+    pub fn as_region(&self) -> RunResult<Arc<Region>> {
         match self.unwrap_sample() {
-            Value::Region(r) => Ok(Rc::clone(r)),
+            Value::Region(r) => Ok(Arc::clone(r)),
             other => Err(ScenicError::type_error(format!(
                 "expected a region, found {}",
                 other.type_name()
@@ -344,9 +350,9 @@ impl Value {
     }
 
     /// Field coercion.
-    pub fn as_field(&self) -> RunResult<Rc<VectorField>> {
+    pub fn as_field(&self) -> RunResult<Arc<VectorField>> {
         match self.unwrap_sample() {
-            Value::Field(f) => Ok(Rc::clone(f)),
+            Value::Field(f) => Ok(Arc::clone(f)),
             other => Err(ScenicError::type_error(format!(
                 "expected a vector field, found {}",
                 other.type_name()

@@ -11,17 +11,76 @@
 //! vector fields, namespaces, functions implemented in Rust) and/or
 //! Scenic *source* (class definitions and helper functions, like the
 //! paper's `gtaLib` in Appendix A.1).
+//!
+//! Native values are stored as [`NativeValue`] — a `Send + Sync`
+//! blueprint converted into interpreter [`Value`]s at import time, once
+//! per run. This keeps the whole compiled world shareable across the
+//! `sample_batch` worker threads while the interpreter itself stays
+//! single-threaded `Rc`/`RefCell` state.
 
-use crate::value::Value;
-use scenic_geom::Region;
+use crate::value::{dict_from, NativeFn, Value};
+use scenic_geom::{Region, Vec2, VectorField};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// A thread-safe blueprint for a module-native value.
+///
+/// Converted to a fresh runtime [`Value`] each run via
+/// [`NativeValue::to_value`], so runs never share mutable state (a
+/// scenario mutating an imported namespace cannot leak into the next
+/// sample).
+#[derive(Debug, Clone)]
+pub enum NativeValue {
+    /// `None`.
+    None,
+    /// Boolean.
+    Bool(bool),
+    /// Scalar.
+    Number(f64),
+    /// String.
+    Str(String),
+    /// Vector.
+    Vector(Vec2),
+    /// Region.
+    Region(Arc<Region>),
+    /// Vector field.
+    Field(Arc<VectorField>),
+    /// List of values.
+    List(Vec<NativeValue>),
+    /// String-keyed namespace (becomes a runtime dict).
+    Namespace(Vec<(String, NativeValue)>),
+    /// A native function (its closure must be `Send + Sync`).
+    Function(NativeFn),
+}
+
+impl NativeValue {
+    /// Builds the runtime value for one interpreter run.
+    pub fn to_value(&self) -> Value {
+        match self {
+            NativeValue::None => Value::None,
+            NativeValue::Bool(b) => Value::Bool(*b),
+            NativeValue::Number(n) => Value::Number(*n),
+            NativeValue::Str(s) => Value::str(s),
+            NativeValue::Vector(v) => Value::Vector(*v),
+            NativeValue::Region(r) => Value::Region(Arc::clone(r)),
+            NativeValue::Field(f) => Value::Field(Arc::clone(f)),
+            NativeValue::List(items) => {
+                Value::List(Rc::new(items.iter().map(NativeValue::to_value).collect()))
+            }
+            NativeValue::Namespace(pairs) => Value::Dict(dict_from(
+                pairs.iter().map(|(k, v)| (k.clone(), v.to_value())),
+            )),
+            NativeValue::Function(f) => Value::Native(f.clone()),
+        }
+    }
+}
 
 /// An importable library module.
 #[derive(Default, Clone)]
 pub struct Module {
     /// Values injected into the global scope when imported.
-    pub natives: Vec<(String, Value)>,
+    pub natives: Vec<(String, NativeValue)>,
     /// Scenic source executed (once) when imported.
     pub source: Option<String>,
 }
@@ -31,7 +90,7 @@ pub struct Module {
 pub struct World {
     /// The workspace region objects must stay inside (default
     /// requirement, §3).
-    pub workspace: Rc<Region>,
+    pub workspace: Arc<Region>,
     /// Importable modules by name.
     pub modules: HashMap<String, Module>,
     /// Modules imported implicitly before the program runs (so
@@ -40,11 +99,20 @@ pub struct World {
     pub auto_imports: Vec<String>,
 }
 
+// Compiled worlds are shared read-only across `sample_batch` workers;
+// this assertion keeps any future `Rc`/`RefCell` regression from
+// compiling.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<World>();
+    assert_send_sync::<NativeValue>();
+};
+
 impl World {
     /// An empty world with an unbounded workspace and no libraries.
     pub fn bare() -> Self {
         World {
-            workspace: Rc::new(Region::Everywhere),
+            workspace: Arc::new(Region::Everywhere),
             modules: HashMap::new(),
             auto_imports: Vec::new(),
         }
@@ -53,7 +121,7 @@ impl World {
     /// A world with the given workspace region.
     pub fn with_workspace(region: Region) -> Self {
         World {
-            workspace: Rc::new(region),
+            workspace: Arc::new(region),
             ..World::bare()
         }
     }
@@ -103,7 +171,7 @@ mod tests {
         w.add_module(
             "lib",
             Module {
-                natives: vec![("x".into(), Value::Number(1.0))],
+                natives: vec![("x".into(), NativeValue::Number(1.0))],
                 source: None,
             },
         );
@@ -116,5 +184,29 @@ mod tests {
         let mut w = World::bare();
         w.add_auto_module("lib", Module::default());
         assert_eq!(w.auto_imports, vec!["lib".to_string()]);
+    }
+
+    #[test]
+    fn native_values_convert_per_run() {
+        let ns = NativeValue::Namespace(vec![
+            ("a".into(), NativeValue::Number(2.0)),
+            (
+                "items".into(),
+                NativeValue::List(vec![NativeValue::Str("x".into()), NativeValue::Bool(true)]),
+            ),
+        ]);
+        let (v1, v2) = (ns.to_value(), ns.to_value());
+        // Fresh dict per conversion: runs do not share mutable state.
+        assert!(!v1.equals(&v2), "dicts compare by identity");
+        let Value::Dict(d) = v1 else {
+            panic!("not a dict")
+        };
+        assert_eq!(
+            crate::value::dict_get(&d, "a")
+                .unwrap()
+                .as_number()
+                .unwrap(),
+            2.0
+        );
     }
 }

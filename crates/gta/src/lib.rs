@@ -27,10 +27,11 @@ pub use map::{MapConfig, RoadMap};
 pub use models::{CarColor, CarModel, CAR_COLORS, CAR_MODELS, EGO_MODEL, WEATHER_TYPES};
 
 use scenic_core::prune::{prune_cells, PruneParams};
-use scenic_core::value::{dict_from, DistSpec, NativeFn, Value};
-use scenic_core::{Module, RunResult};
+use scenic_core::value::{DistSpec, NativeFn, Value};
+use scenic_core::{Module, NativeValue, RunResult};
 use scenic_geom::{Heading, Region, VectorField};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The `gtaLib` Scenic source: the paper's Appendix A.1, verbatim except
 /// for the fixed ego model name.
@@ -110,11 +111,19 @@ impl World {
 }
 
 fn car_model_value(m: &models::CarModel) -> Value {
-    Value::Dict(dict_from([
+    Value::Dict(scenic_core::value::dict_from([
         ("name".to_string(), Value::str(m.name)),
         ("width".to_string(), Value::Number(m.width)),
         ("height".to_string(), Value::Number(m.height)),
     ]))
+}
+
+fn car_model_native(m: &models::CarModel) -> NativeValue {
+    NativeValue::Namespace(vec![
+        ("name".into(), NativeValue::Str(m.name.to_string())),
+        ("width".into(), NativeValue::Number(m.width)),
+        ("height".into(), NativeValue::Number(m.height)),
+    ])
 }
 
 fn build_core_world(map: &RoadMap) -> scenic_core::World {
@@ -126,54 +135,69 @@ fn build_core_world(map: &RoadMap) -> scenic_core::World {
         curb_field,
     );
 
-    // CarModel namespace: `models` dict + `defaultModel()`.
-    let model_values: Vec<Value> = CAR_MODELS.iter().map(car_model_value).collect();
-    let models_dict = dict_from(
+    // CarModel namespace: `models` dict + `defaultModel()`. The native
+    // closures must be `Send + Sync` (worlds are shared across
+    // `sample_batch` workers), so instead of capturing an `Rc<DistSpec>`
+    // they rebuild it from the model/color constants — once per thread,
+    // via `thread_local!`, since defaultModel()/defaultColor() sit on
+    // the rejection-sampling hot path. The drawn RNG stream is
+    // unchanged.
+    let models_ns = NativeValue::Namespace(
         CAR_MODELS
             .iter()
-            .map(|m| (m.name.to_string(), car_model_value(m)))
+            .map(|m| (m.name.to_string(), car_model_native(m)))
             .chain(std::iter::once((
                 EGO_MODEL.name.to_string(),
-                car_model_value(&EGO_MODEL),
-            ))),
+                car_model_native(&EGO_MODEL),
+            )))
+            .collect(),
     );
-    let default_model = {
-        let spec = Rc::new(DistSpec::UniformOf(model_values));
-        NativeFn {
-            name: "CarModel.defaultModel".into(),
-            imp: Rc::new(move |ctx, _, _| spec.sample(ctx.rng)),
-        }
+    let default_model = NativeFn {
+        name: "CarModel.defaultModel".into(),
+        imp: Arc::new(|ctx, _, _| {
+            thread_local! {
+                static SPEC: Rc<DistSpec> = Rc::new(DistSpec::UniformOf(
+                    CAR_MODELS.iter().map(car_model_value).collect(),
+                ));
+            }
+            SPEC.with(|spec| spec.sample(ctx.rng))
+        }),
     };
-    let car_model_ns = dict_from([
-        ("models".to_string(), Value::Dict(models_dict)),
-        ("defaultModel".to_string(), Value::Native(default_model)),
+    let car_model_ns = NativeValue::Namespace(vec![
+        ("models".to_string(), models_ns),
+        (
+            "defaultModel".to_string(),
+            NativeValue::Function(default_model),
+        ),
     ]);
 
     // CarColor namespace: `defaultColor()` + `byteToReal([r, g, b])`.
-    let default_color = {
-        let spec = Rc::new(DistSpec::Discrete(
-            CAR_COLORS
-                .iter()
-                .map(|c| {
-                    (
-                        Value::List(Rc::new(vec![
-                            Value::Number(c.rgb[0]),
-                            Value::Number(c.rgb[1]),
-                            Value::Number(c.rgb[2]),
-                        ])),
-                        c.weight,
-                    )
-                })
-                .collect(),
-        ));
-        NativeFn {
-            name: "CarColor.defaultColor".into(),
-            imp: Rc::new(move |ctx, _, _| spec.sample(ctx.rng)),
-        }
+    let default_color = NativeFn {
+        name: "CarColor.defaultColor".into(),
+        imp: Arc::new(|ctx, _, _| {
+            thread_local! {
+                static SPEC: Rc<DistSpec> = Rc::new(DistSpec::Discrete(
+                    CAR_COLORS
+                        .iter()
+                        .map(|c| {
+                            (
+                                Value::List(Rc::new(vec![
+                                    Value::Number(c.rgb[0]),
+                                    Value::Number(c.rgb[1]),
+                                    Value::Number(c.rgb[2]),
+                                ])),
+                                c.weight,
+                            )
+                        })
+                        .collect(),
+                ));
+            }
+            SPEC.with(|spec| spec.sample(ctx.rng))
+        }),
     };
     let byte_to_real = NativeFn {
         name: "CarColor.byteToReal".into(),
-        imp: Rc::new(|_, args, _| {
+        imp: Arc::new(|_, args, _| {
             let [list] = &args[..] else {
                 return Err(scenic_core::ScenicError::runtime(
                     "byteToReal expects one list argument",
@@ -191,9 +215,15 @@ fn build_core_world(map: &RoadMap) -> scenic_core::World {
             Ok(Value::List(Rc::new(reals?)))
         }),
     };
-    let car_color_ns = dict_from([
-        ("defaultColor".to_string(), Value::Native(default_color)),
-        ("byteToReal".to_string(), Value::Native(byte_to_real)),
+    let car_color_ns = NativeValue::Namespace(vec![
+        (
+            "defaultColor".to_string(),
+            NativeValue::Function(default_color),
+        ),
+        (
+            "byteToReal".to_string(),
+            NativeValue::Function(byte_to_real),
+        ),
     ]);
 
     // Default time (minutes since midnight) and weather distributions
@@ -201,35 +231,43 @@ fn build_core_world(map: &RoadMap) -> scenic_core::World {
     // shine").
     let default_time = NativeFn {
         name: "defaultTime".into(),
-        imp: Rc::new(|ctx, _, _| Rc::new(DistSpec::Range(0.0, 1440.0)).sample(ctx.rng)),
+        imp: Arc::new(|ctx, _, _| Rc::new(DistSpec::Range(0.0, 1440.0)).sample(ctx.rng)),
     };
-    let default_weather = {
-        let spec = Rc::new(DistSpec::Discrete(
-            WEATHER_TYPES
-                .iter()
-                .map(|(name, w)| (Value::str(*name), *w))
-                .collect(),
-        ));
-        NativeFn {
-            name: "defaultWeather".into(),
-            imp: Rc::new(move |ctx, _, _| spec.sample(ctx.rng)),
-        }
+    let default_weather = NativeFn {
+        name: "defaultWeather".into(),
+        imp: Arc::new(|ctx, _, _| {
+            thread_local! {
+                static SPEC: Rc<DistSpec> = Rc::new(DistSpec::Discrete(
+                    WEATHER_TYPES
+                        .iter()
+                        .map(|(name, w)| (Value::str(*name), *w))
+                        .collect(),
+                ));
+            }
+            SPEC.with(|spec| spec.sample(ctx.rng))
+        }),
     };
 
-    let full_road = Rc::new(road);
+    let full_road = Arc::new(road);
     let module = Module {
         natives: vec![
-            ("road".into(), Value::Region(Rc::clone(&full_road))),
+            ("road".into(), NativeValue::Region(Arc::clone(&full_road))),
             // `fullRoad` is never replaced by pruning: requirements must
             // check against the true region (§5.2 pruning is sound only
             // for *sampling*).
-            ("fullRoad".into(), Value::Region(full_road)),
-            ("curb".into(), Value::Region(Rc::new(curb))),
-            ("roadDirection".into(), Value::Field(Rc::new(road_field))),
-            ("CarModel".into(), Value::Dict(car_model_ns)),
-            ("CarColor".into(), Value::Dict(car_color_ns)),
-            ("defaultTime".into(), Value::Native(default_time)),
-            ("defaultWeather".into(), Value::Native(default_weather)),
+            ("fullRoad".into(), NativeValue::Region(full_road)),
+            ("curb".into(), NativeValue::Region(Arc::new(curb))),
+            (
+                "roadDirection".into(),
+                NativeValue::Field(Arc::new(road_field)),
+            ),
+            ("CarModel".into(), car_model_ns),
+            ("CarColor".into(), car_color_ns),
+            ("defaultTime".into(), NativeValue::Function(default_time)),
+            (
+                "defaultWeather".into(),
+                NativeValue::Function(default_weather),
+            ),
         ],
         source: Some(GTA_LIB_SOURCE.to_string()),
     };

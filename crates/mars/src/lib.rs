@@ -17,7 +17,7 @@
 //!
 //! let world = scenic_mars::world();
 //! let scenario = scenic_core::compile_with_world(scenic_mars::BOTTLENECK, &world)?;
-//! let scene = Sampler::new(&scenario).sample_seeded(12)?;
+//! let scene = Sampler::new(&scenario).sample_seeded(1)?;
 //! assert!(scene.objects.len() >= 9);
 //! # Ok::<(), scenic_core::ScenicError>(())
 //! ```
@@ -26,9 +26,9 @@ pub mod planner;
 
 pub use planner::{plan, requires_climbing, GridPlan};
 
-use scenic_core::{Module, Value, World};
+use scenic_core::{Module, NativeValue, World};
 use scenic_geom::{Region, Vec2};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Half-extent of the square rubble-field workspace, meters.
 pub const WORKSPACE_HALF: f64 = 4.0;
@@ -94,7 +94,7 @@ pub fn world() -> World {
     let ground = Region::rectangle(Vec2::ZERO, 2.0 * WORKSPACE_HALF, 2.0 * WORKSPACE_HALF);
     let mut w = World::with_workspace(ground.clone());
     let module = Module {
-        natives: vec![("ground".into(), Value::Region(Rc::new(ground)))],
+        natives: vec![("ground".into(), NativeValue::Region(Arc::new(ground)))],
         source: Some(MARS_LIB_SOURCE.to_string()),
     };
     w.add_auto_module("mars", module.clone());
@@ -103,44 +103,59 @@ pub fn world() -> World {
     w
 }
 
+/// Shared test fixture: sampling the bottleneck scenario dominated this
+/// crate's test wall-clock (each accepted scene costs seconds of debug
+/// interpreter time), so every test works over this one batch instead
+/// of drawing its own scenes. Originally the suite drew ~20 scenes
+/// (10 for the climbing statistic alone); the pool holds 3, drawn with
+/// `sample_batch(3, 2)` so the parallel path is exercised in-crate too.
+/// All assertions below are per-accepted-scene invariants, so they hold
+/// for any pool.
+#[cfg(test)]
+pub(crate) fn bottleneck_pool() -> &'static [scenic_core::Scene] {
+    use std::sync::OnceLock;
+    static POOL: OnceLock<Vec<scenic_core::Scene>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let w = world();
+        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
+        scenic_core::sampler::Sampler::new(&scenario)
+            .with_seed(0)
+            .sample_batch(3, 2)
+            .unwrap()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scenic_core::sampler::{Sampler, SamplerConfig};
 
     #[test]
     fn bottleneck_scenario_samples() {
-        let w = world();
-        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
-        let scene = Sampler::new(&scenario).sample_seeded(1).unwrap();
-        // Rover + goal + 3 BigRock + 3 Pipe + 3 Rock = 11 objects.
-        assert_eq!(scene.objects.len(), 11);
-        let classes: Vec<&str> = scene.objects.iter().map(|o| o.class.as_str()).collect();
-        assert_eq!(classes.iter().filter(|c| **c == "BigRock").count(), 3);
-        assert_eq!(classes.iter().filter(|c| **c == "Pipe").count(), 3);
+        for scene in bottleneck_pool() {
+            // Rover + goal + 3 BigRock + 3 Pipe + 3 Rock = 11 objects.
+            assert_eq!(scene.objects.len(), 11);
+            let classes: Vec<&str> = scene.objects.iter().map(|o| o.class.as_str()).collect();
+            assert_eq!(classes.iter().filter(|c| **c == "BigRock").count(), 3);
+            assert_eq!(classes.iter().filter(|c| **c == "Pipe").count(), 3);
+        }
     }
 
     #[test]
     fn rover_and_goal_positions() {
-        let w = world();
-        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
-        let scene = Sampler::new(&scenario).sample_seeded(3).unwrap();
-        let rover = scene.ego();
-        assert_eq!(rover.position, [0.0, -2.0]);
-        let goal = scene.objects.iter().find(|o| o.class == "Goal").unwrap();
-        assert!((2.0..=2.5).contains(&goal.position[1]));
-        assert!((-2.0..=2.0).contains(&goal.position[0]));
+        for scene in bottleneck_pool() {
+            let rover = scene.ego();
+            assert_eq!(rover.position, [0.0, -2.0]);
+            let goal = scene.objects.iter().find(|o| o.class == "Goal").unwrap();
+            assert!((2.0..=2.5).contains(&goal.position[1]));
+            assert!((-2.0..=2.0).contains(&goal.position[0]));
+        }
     }
 
     #[test]
     fn bottleneck_rock_is_roughly_between() {
         // The `require` constrains the bottleneck to lie within 10° of
         // the rover→goal bearing.
-        let w = world();
-        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
-        let mut sampler = Sampler::new(&scenario).with_seed(5);
-        for _ in 0..5 {
-            let scene = sampler.sample().unwrap();
+        for scene in bottleneck_pool() {
             let rover = scene.ego().position_vec();
             let goal = scene
                 .objects
@@ -165,42 +180,35 @@ mod tests {
 
     #[test]
     fn everything_in_workspace() {
-        let w = world();
-        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
-        let mut sampler = Sampler::new(&scenario)
-            .with_seed(9)
-            .with_config(SamplerConfig {
-                max_iterations: 20_000,
-            });
-        let scene = sampler.sample().unwrap();
-        for obj in &scene.objects {
-            let p = obj.position_vec();
-            assert!(p.x.abs() <= WORKSPACE_HALF && p.y.abs() <= WORKSPACE_HALF);
+        for scene in bottleneck_pool() {
+            for obj in &scene.objects {
+                let p = obj.position_vec();
+                assert!(p.x.abs() <= WORKSPACE_HALF && p.y.abs() <= WORKSPACE_HALF);
+            }
         }
     }
 
     #[test]
     fn pipes_flank_the_gap() {
-        let w = world();
-        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
-        let scene = Sampler::new(&scenario).sample_seeded(7).unwrap();
-        let rock = scene
-            .objects
-            .iter()
-            .find(|o| o.class == "BigRock")
-            .unwrap()
-            .position_vec();
-        // The two flanking pipes (first two Pipe objects) start near the
-        // bottleneck (within a couple of meters).
-        let pipes: Vec<_> = scene
-            .objects
-            .iter()
-            .filter(|o| o.class == "Pipe")
-            .take(2)
-            .collect();
-        for pipe in pipes {
-            let d = pipe.position_vec().distance_to(rock);
-            assert!(d < 3.0, "flanking pipe {d}m from bottleneck");
+        for scene in bottleneck_pool() {
+            let rock = scene
+                .objects
+                .iter()
+                .find(|o| o.class == "BigRock")
+                .unwrap()
+                .position_vec();
+            // The two flanking pipes (first two Pipe objects) start near
+            // the bottleneck (within a couple of meters).
+            let pipes: Vec<_> = scene
+                .objects
+                .iter()
+                .filter(|o| o.class == "Pipe")
+                .take(2)
+                .collect();
+            for pipe in pipes {
+                let d = pipe.position_vec().distance_to(rock);
+                assert!(d < 3.0, "flanking pipe {d}m from bottleneck");
+            }
         }
     }
 }

@@ -191,35 +191,46 @@ pub fn requires_climbing(scene: &Scene, workspace_half: f64, detour_factor: f64)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bottleneck_pool;
     use scenic_core::sampler::Sampler;
-
-    fn bottleneck_scene(seed: u64) -> Scene {
-        let w = crate::world();
-        let scenario = scenic_core::compile_with_world(crate::BOTTLENECK, &w).unwrap();
-        Sampler::new(&scenario).sample_seeded(seed).unwrap()
-    }
 
     #[test]
     fn climbing_plan_exists() {
-        let scene = bottleneck_scene(2);
-        let p = plan(&scene, crate::WORKSPACE_HALF, true);
-        assert!(p.is_some(), "no path even with climbing allowed");
-        let p = p.unwrap();
-        assert!(p.length > 3.0, "path too short: {}", p.length);
-        // Path starts at the rover and ends near the goal.
-        let start = p.waypoints.first().unwrap();
-        assert!(start.distance_to(Vec2::new(0.0, -2.0)) < 0.2);
+        for scene in bottleneck_pool() {
+            let p = plan(scene, crate::WORKSPACE_HALF, true);
+            assert!(p.is_some(), "no path even with climbing allowed");
+            let p = p.unwrap();
+            assert!(p.length > 3.0, "path too short: {}", p.length);
+            // Path starts at the rover and ends near the goal.
+            let start = p.waypoints.first().unwrap();
+            assert!(start.distance_to(Vec2::new(0.0, -2.0)) < 0.2);
+        }
     }
 
     #[test]
     fn bottleneck_often_forces_climbing_or_detour() {
-        // Across several sampled workspaces, a meaningful fraction force
-        // the planner to climb (or detour substantially) — the stated
-        // purpose of the Fig. 22 scenario.
+        // Across sampled workspaces, a meaningful fraction force the
+        // planner to climb (or detour substantially) — the stated
+        // purpose of the Fig. 22 scenario. Checked over the shared
+        // 3-scene pool; `bottleneck_climbing_statistic_full` below keeps
+        // the original 10-scene statistic behind `--ignored`.
+        let forced = bottleneck_pool()
+            .iter()
+            .filter(|scene| requires_climbing(scene, crate::WORKSPACE_HALF, 1.15))
+            .count();
+        assert!(forced >= 1, "no pooled workspace was challenging");
+    }
+
+    #[test]
+    #[ignore = "slow full statistic (~30s debug); run with --ignored"]
+    fn bottleneck_climbing_statistic_full() {
+        // The original-size (n = 10) version of the statistic above.
+        let w = crate::world();
+        let scenario = scenic_core::compile_with_world(crate::BOTTLENECK, &w).unwrap();
         let mut forced = 0;
         let n = 10;
         for seed in 0..n {
-            let scene = bottleneck_scene(100 + seed);
+            let scene = Sampler::new(&scenario).sample_seeded(100 + seed).unwrap();
             if requires_climbing(&scene, crate::WORKSPACE_HALF, 1.15) {
                 forced += 1;
             }
@@ -231,18 +242,19 @@ mod tests {
     fn direct_path_blocked_by_pipes_near_bottleneck() {
         // The no-climb plan, when it exists, must not pass through the
         // bottleneck rock's cell.
-        let scene = bottleneck_scene(4);
-        if let Some(p) = plan(&scene, crate::WORKSPACE_HALF, false) {
-            let rock = scene
-                .objects
-                .iter()
-                .find(|o| o.class == "BigRock")
-                .unwrap()
-                .position_vec();
-            for wp in &p.waypoints {
-                assert!(wp.distance_to(rock) > 0.3, "path crossed the rock");
+        for scene in bottleneck_pool() {
+            if let Some(p) = plan(scene, crate::WORKSPACE_HALF, false) {
+                let rock = scene
+                    .objects
+                    .iter()
+                    .find(|o| o.class == "BigRock")
+                    .unwrap()
+                    .position_vec();
+                for wp in &p.waypoints {
+                    assert!(wp.distance_to(rock) > 0.3, "path crossed the rock");
+                }
+                assert!(!p.climbs);
             }
-            assert!(!p.climbs);
         }
     }
 

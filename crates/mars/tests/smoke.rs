@@ -11,7 +11,10 @@ fn bottleneck_samples_and_plans() {
     let mut sampler = Sampler::new(&scenario).with_config(SamplerConfig {
         max_iterations: 100_000,
     });
-    let scene = sampler.sample_seeded(7).expect("samples");
+    // Seed 1 accepts within a handful of iterations (seed 7, used
+    // originally, needed ~3.5k interpreter runs — seconds of debug
+    // time).
+    let scene = sampler.sample_seeded(1).expect("samples");
     assert!(!scene.objects.is_empty());
     assert_eq!(scene.objects[0].class, "Rover");
 

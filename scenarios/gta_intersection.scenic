@@ -1,0 +1,5 @@
+ego = EgoCar
+crossing = Car on visible road, facing (75, 105) deg relative to roadDirection
+require (distance to crossing) > 8
+require (distance to crossing) < 25
+require abs(apparent heading of crossing) > 30 deg

@@ -1,0 +1,17 @@
+param mission = 'formation-survey'
+
+ego = Rover at (-0.5, 0.5) @ -2.5, facing (-5, 5) deg
+gap = (1.1, 1.6)
+
+def wing(side):
+    return Rover at (front of ego) offset by (side * resample(gap)) @ (0.2, 0.6)
+
+leftWing = wing(-1)
+rightWing = wing(1)
+require (distance from leftWing to rightWing) > 2
+require[0.8] (distance to leftWing) < 2.5
+
+Goal at (-1, 1) @ (2.5, 3)
+Rock at (-3, -1) @ (0.5, 2)
+Rock at (1, 3) @ (0.5, 2)
+Pipe at (-2, 2) @ (-1, -0.2), facing (0, 360) deg

@@ -7,14 +7,17 @@
 //! ```text
 //! scenic check  <file> [--world gta|mars|bare]
 //! scenic print  <file>
-//! scenic sample <file> [--world W] [-n N] [--seed S]
+//! scenic sample <file> [--world W] [-n N] [--seed S] [--jobs J]
 //!               [--format json|gta|wbt|summary] [--out DIR] [--stats]
 //! ```
 //!
 //! `check` parses and compiles (reporting the first error with its
 //! position), `print` re-emits the canonical pretty-printed source, and
-//! `sample` draws `N` scenes by rejection sampling and writes them to
-//! stdout (or one file per scene under `--out`).
+//! `sample` draws `N` scenes by deterministic parallel rejection
+//! sampling (`--jobs` workers; every scene's RNG stream derives from
+//! `--seed` and the scene index, so the output is byte-identical for any
+//! worker count) and writes them to stdout (or one file per scene under
+//! `--out`).
 
 use scenic::core::sampler::Sampler;
 use scenic::core::{compile_with_world, World};
@@ -26,13 +29,15 @@ usage:
   scenic check  <file> [--world gta|mars|bare]
   scenic print  <file>
   scenic sample <file> [--world gta|mars|bare] [-n N] [--seed S]
-                [--format json|gta|wbt|summary] [--out DIR] [--stats]
-                [--ppm]
+                [--jobs J] [--format json|gta|wbt|summary] [--out DIR]
+                [--stats] [--ppm]
 
 options:
   --world W     world/library to compile against (default: gta)
   -n N          number of scenes to sample (default: 1)
   --seed S      RNG seed (default: 0)
+  --jobs J      sampling worker threads (default: all cores; output is
+                identical for every J)
   --format F    output format (default: summary)
   --out DIR     write one file per scene instead of stdout
   --stats       print rejection-sampling statistics to stderr
@@ -45,10 +50,17 @@ struct Options {
     world: String,
     n: usize,
     seed: u64,
+    jobs: usize,
     format: String,
     out: Option<String>,
     stats: bool,
     ppm: bool,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
@@ -63,6 +75,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         world: "gta".into(),
         n: 1,
         seed: 0,
+        jobs: default_jobs(),
         format: "summary".into(),
         out: None,
         stats: false,
@@ -85,6 +98,13 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                 options.seed = take("--seed")?
                     .parse()
                     .map_err(|_| "--seed needs an integer")?;
+            }
+            "--jobs" => {
+                options.jobs = take("--jobs")?
+                    .parse()
+                    .ok()
+                    .filter(|j| *j > 0)
+                    .ok_or("--jobs needs a positive integer")?;
             }
             "--format" => options.format = take("--format")?,
             "--out" => options.out = Some(take("--out")?),
@@ -219,9 +239,11 @@ fn run(options: &Options) -> Result<(), String> {
             if let Some(dir) = &options.out {
                 std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
             }
-            for i in 0..options.n {
-                let scene = sampler.sample().map_err(|e| e.to_string())?;
-                let text = render(&scene, &options.format);
+            let scenes = sampler
+                .sample_batch(options.n, options.jobs)
+                .map_err(|e| e.to_string())?;
+            for (i, scene) in scenes.iter().enumerate() {
+                let text = render(scene, &options.format);
                 match &options.out {
                     Some(dir) => {
                         let path = std::path::Path::new(dir)
@@ -232,7 +254,7 @@ fn run(options: &Options) -> Result<(), String> {
                         if options.ppm {
                             let ppm_path =
                                 std::path::Path::new(dir).join(format!("scene_{i:04}.ppm"));
-                            write_ppm(&scene, &world.background, &ppm_path)?;
+                            write_ppm(scene, &world.background, &ppm_path)?;
                             eprintln!("wrote {}", ppm_path.display());
                         }
                     }

@@ -39,6 +39,18 @@
 //! assert_eq!(scene.objects.len(), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Batches parallelize across threads without changing the output
+//! (every scene's RNG stream derives from the root seed and its index):
+//!
+//! ```
+//! use scenic::prelude::*;
+//!
+//! let scenario = compile("ego = Object at 0 @ 0\nObject at 0 @ (5, 9)\n")?;
+//! let scenes = Sampler::new(&scenario).with_seed(1).sample_batch(8, 4)?;
+//! assert_eq!(scenes.len(), 8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use scenic_core as core;
 pub use scenic_detect as detect;
@@ -50,7 +62,7 @@ pub use scenic_sim as sim;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use scenic_core::sampler::{Sampler, SamplerConfig};
+    pub use scenic_core::sampler::{derive_scene_seed, BatchReport, Sampler, SamplerConfig};
     pub use scenic_core::scene::{Scene, SceneObject};
     pub use scenic_core::{compile, compile_with_world, ScenicError};
     pub use scenic_geom::{Heading, Polygon, Region, Vec2, VectorField};

@@ -95,6 +95,84 @@ fn sample_is_deterministic_per_seed() {
 }
 
 #[test]
+fn sample_output_is_invariant_in_jobs() {
+    let path = write_scenario("jobs.scenic", "ego = Car\nCar\n");
+    let mut outputs = Vec::new();
+    for jobs in ["1", "2", "8"] {
+        let out = run(&[
+            "sample",
+            path.to_str().unwrap(),
+            "-n",
+            "4",
+            "--seed",
+            "6",
+            "--jobs",
+            jobs,
+        ]);
+        assert!(out.status.success(), "jobs={jobs}: {}", stderr(&out));
+        outputs.push(stdout(&out));
+    }
+    assert_eq!(outputs[0], outputs[1], "--jobs 2 changed the output");
+    assert_eq!(outputs[0], outputs[2], "--jobs 8 changed the output");
+}
+
+#[test]
+fn zero_jobs_is_rejected() {
+    let path = write_scenario("jobs0.scenic", "ego = Car\n");
+    let out = run(&["sample", path.to_str().unwrap(), "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--jobs"), "{}", stderr(&out));
+}
+
+/// Path of a bundled scenario under the repo's `scenarios/` directory.
+fn bundled(name: &str) -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join(name)
+}
+
+#[test]
+fn bundled_mars_formation_samples_in_parallel() {
+    let out = run(&[
+        "sample",
+        bundled("mars_formation.scenic").to_str().unwrap(),
+        "--world",
+        "mars",
+        "-n",
+        "2",
+        "--jobs",
+        "4",
+        "--seed",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // Lead rover (ego) plus the two wing rovers built by the `def`
+    // helper.
+    assert_eq!(text.matches("Rover").count(), 6, "{text}");
+    assert!(text.contains("Goal"), "{text}");
+}
+
+#[test]
+fn bundled_gta_intersection_samples_in_parallel() {
+    let out = run(&[
+        "sample",
+        bundled("gta_intersection.scenic").to_str().unwrap(),
+        "-n",
+        "2",
+        "--jobs",
+        "4",
+        "--seed",
+        "5",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.matches("Car").count(), 4, "{text}");
+    assert!(stderr(&out).contains("2 scenes"), "{}", stderr(&out));
+}
+
+#[test]
 fn sample_json_round_trips() {
     let path = write_scenario("json.scenic", "ego = Car\nCar\n");
     let out = run(&[

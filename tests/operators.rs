@@ -164,16 +164,16 @@ fn box_corner_operators() {
 
 #[test]
 fn field_at_and_relative_to() {
-    use scenic::core::{Module, Value, World};
+    use scenic::core::{Module, NativeValue, World};
     use scenic::geom::{Heading, VectorField};
-    use std::rc::Rc;
+    use std::sync::Arc;
     let mut world = World::bare();
     world.add_module(
         "lib",
         Module {
             natives: vec![(
                 "f".into(),
-                Value::Field(Rc::new(VectorField::Constant(Heading::from_degrees(30.0)))),
+                NativeValue::Field(Arc::new(VectorField::Constant(Heading::from_degrees(30.0)))),
             )],
             source: None,
         },
@@ -235,16 +235,18 @@ fn visible_region_sampling() {
 
 #[test]
 fn follow_field_euler() {
-    use scenic::core::{Module, Value, World};
+    use scenic::core::{Module, NativeValue, World};
     use scenic::geom::{Heading, VectorField};
-    use std::rc::Rc;
+    use std::sync::Arc;
     let mut world = World::bare();
     world.add_module(
         "lib",
         Module {
             natives: vec![(
                 "f".into(),
-                Value::Field(Rc::new(VectorField::Constant(Heading::from_degrees(-90.0)))),
+                NativeValue::Field(Arc::new(VectorField::Constant(Heading::from_degrees(
+                    -90.0,
+                )))),
             )],
             source: None,
         },
