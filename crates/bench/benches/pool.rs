@@ -1,0 +1,86 @@
+//! Scoped-spawn vs persistent-pool batch dispatch overhead.
+//!
+//! `Sampler::sample_batch` originally spawned a fresh
+//! `std::thread::scope` pool per call; since the pool rework it runs on
+//! the persistent process-wide `WorkerPool` (threads spawned once,
+//! reused forever) with `sample_batch_scoped` kept as the baseline.
+//! This bench measures exactly the difference: per-call wall-clock of
+//! both strategies at batch sizes 1/8/64 with `jobs = 8`, over a
+//! trivial bare-world scenario so dispatch overhead — not sampling
+//! work — dominates. Expected shape: at batch 1 both strategies clamp
+//! `jobs` to the batch size and short-circuit to the same in-thread
+//! fast path, so the pool's per-call overhead is not above scoped-spawn
+//! by construction (this row is the no-regression floor); the win shows
+//! from the first genuinely parallel batch — at batch 8 the scoped
+//! strategy pays 8 thread spawns + joins per call while the pool pays
+//! only queue dispatch — and at batch 64 sampling work dominates and
+//! the two converge.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scenic_core::sampler::Sampler;
+
+/// Eight workers: enough to make per-call spawn overhead plainly
+/// visible (the ROADMAP's "visible overhead at jobs=8 on small
+/// batches") without oversubscribing small CI hosts for minutes.
+const JOBS: usize = 8;
+
+/// A scenario whose draws are nearly free, so the timings below are
+/// dispatch overhead rather than interpreter time.
+const TRIVIAL: &str = "ego = Object at 0 @ 0\nObject at 0 @ (5, 9)\n";
+
+fn bench_pool_vs_scoped(c: &mut Criterion) {
+    let scenario = scenic_core::compile(TRIVIAL).expect("compiles");
+
+    // Direct per-call numbers (what CHANGES.md records), independent of
+    // the criterion timing below.
+    println!("scoped-spawn vs persistent pool, jobs={JOBS}, trivial bare scenario:");
+    for batch in [1usize, 8, 64] {
+        let mut per_call = [0.0f64; 2];
+        for (slot, scoped) in [(0usize, true), (1, false)] {
+            // Warm-up: the pooled path's first call pays the one-time
+            // worker spawn the pool then amortizes away.
+            let mut sampler = Sampler::new(&scenario).with_seed(7);
+            let _ = if scoped {
+                sampler.sample_batch_scoped(batch, JOBS)
+            } else {
+                sampler.sample_batch(batch, JOBS)
+            };
+            let start = std::time::Instant::now();
+            let mut calls = 0u32;
+            while calls < 8 || (start.elapsed() < std::time::Duration::from_millis(300)) {
+                let mut sampler = Sampler::new(&scenario).with_seed(7);
+                let scenes = if scoped {
+                    sampler.sample_batch_scoped(batch, JOBS)
+                } else {
+                    sampler.sample_batch(batch, JOBS)
+                };
+                assert_eq!(scenes.expect("batch").len(), batch);
+                calls += 1;
+            }
+            per_call[slot] = start.elapsed().as_secs_f64() * 1e6 / f64::from(calls);
+        }
+        println!(
+            "  batch={batch:>2}: scoped {:>9.1} µs/call, pool {:>9.1} µs/call ({:.2}x)",
+            per_call[0],
+            per_call[1],
+            per_call[0] / per_call[1],
+        );
+    }
+
+    let mut group = c.benchmark_group("pool_dispatch");
+    group.sample_size(10);
+    for batch in [1usize, 8, 64] {
+        group.bench_function(&format!("scoped_batch{batch}"), |b| {
+            let mut sampler = Sampler::new(&scenario).with_seed(7);
+            b.iter(|| sampler.sample_batch_scoped(batch, JOBS).expect("batch"));
+        });
+        group.bench_function(&format!("pool_batch{batch}"), |b| {
+            let mut sampler = Sampler::new(&scenario).with_seed(7);
+            b.iter(|| sampler.sample_batch(batch, JOBS).expect("batch"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_vs_scoped);
+criterion_main!(benches);

@@ -17,6 +17,10 @@
 //!   plus containment erosion) — [`prune`];
 //! - the [`scene`] output format (the simulator interface layer).
 //!
+//! Two amortization layers scale the pipeline beyond one-shot runs: a
+//! persistent worker [`pool`] reused across `sample_batch` calls, and a
+//! compiled-scenario [`cache`] so revisited sources compile once.
+//!
 //! # Example
 //!
 //! ```
@@ -30,12 +34,16 @@
 //! # Ok::<(), scenic_core::ScenicError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod builtins;
+pub mod cache;
 pub mod class;
 pub mod env;
 pub mod error;
 pub mod interp;
 pub mod object;
+pub mod pool;
 pub mod prune;
 pub mod sampler;
 pub mod scene;
@@ -43,8 +51,10 @@ pub mod specifier;
 pub mod value;
 pub mod world;
 
+pub use cache::{source_hash, ScenarioCache};
 pub use error::{Rejection, RunResult, ScenicError};
 pub use interp::{compile, compile_with_world, Interpreter, Scenario};
+pub use pool::WorkerPool;
 pub use sampler::{derive_scene_seed, BatchReport, Sampler, SamplerConfig, SamplerStats};
 pub use scene::{PropValue, Scene, SceneObject};
 pub use value::Value;

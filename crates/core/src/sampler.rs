@@ -10,20 +10,32 @@
 //!
 //! Rejection sampling is embarrassingly parallel: every candidate scene
 //! is an independent draw. [`Sampler::sample_batch`] exploits this by
-//! fanning scene draws across a [`std::thread::scope`] worker pool while
-//! staying **bit-reproducible**: the RNG stream of scene `i` is derived
+//! fanning scene draws across worker threads while staying
+//! **bit-reproducible**: the RNG stream of scene `i` is derived
 //! *by index* from the sampler's root seed via a SplitMix64 stream split
 //! ([`derive_scene_seed`]), so the output is byte-identical for any
-//! worker count. The scoped-thread design needs no extra dependencies
-//! and no `unsafe`: a compiled [`Scenario`] is `Send + Sync`, each
-//! worker builds its own thread-local interpreter state per run.
+//! worker count *and* any thread-pool strategy. The design needs no
+//! extra dependencies and no `unsafe`: a compiled [`Scenario`] is
+//! `Send + Sync`, each worker builds its own thread-local interpreter
+//! state per run.
+//!
+//! Two dispatch strategies share one worker loop:
+//!
+//! - [`Sampler::sample_batch`] runs on the persistent process-wide
+//!   [`WorkerPool`] (threads spawned once, reused by every call);
+//! - [`Sampler::sample_batch_scoped`] spawns a fresh
+//!   [`std::thread::scope`] pool per call (zero persistent state; kept
+//!   as the baseline the pool is benchmarked against, see
+//!   `benches/pool.rs`).
 
 use crate::error::{Rejection, RunResult, ScenicError};
 use crate::interp::Scenario;
+use crate::pool::WorkerPool;
 use crate::scene::Scene;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Sampler configuration.
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +131,51 @@ pub fn derive_scene_seed(root_seed: u64, index: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// One scene slot of a batch: the draw's outcome (if it was computed
+/// before cancellation kicked in) with its statistics.
+type BatchSlot = Option<(RunResult<Scene>, SamplerStats)>;
+
+/// One worker's outcomes, tagged with the scene indices it drew.
+type IndexedOutcomes = Vec<(usize, (RunResult<Scene>, SamplerStats))>;
+
+/// Everything a batch worker needs, shared across threads. Owning a
+/// [`Scenario`] clone (cheap: compiled programs and world geometry are
+/// `Arc`-shared) keeps the state `'static`, so the same struct drives
+/// both scoped threads and the persistent [`WorkerPool`].
+struct BatchShared {
+    scenario: Scenario,
+    config: SamplerConfig,
+    root_seed: u64,
+    n: usize,
+    /// Next unclaimed scene index (dynamic work pulling).
+    next_index: AtomicUsize,
+    /// Lowest failing scene index seen so far (`usize::MAX` = none).
+    first_error: AtomicUsize,
+}
+
+/// The worker loop shared by every dispatch strategy: pull the next
+/// scene index, derive its seed, run a thread-local interpreter; after
+/// any failure, indices above the lowest failing one are abandoned
+/// (their results could never be reported).
+fn drain_batch(shared: &BatchShared) -> IndexedOutcomes {
+    let mut local = Vec::new();
+    loop {
+        let index = shared.next_index.fetch_add(1, Ordering::Relaxed);
+        // `first_error` only ever decreases, so once an index is past
+        // it every later index is too: stop pulling work.
+        if index >= shared.n || index > shared.first_error.load(Ordering::Acquire) {
+            break;
+        }
+        let seed = derive_scene_seed(shared.root_seed, index as u64);
+        let outcome = sample_scene(&shared.scenario, shared.config, seed);
+        if outcome.0.is_err() {
+            shared.first_error.fetch_min(index, Ordering::AcqRel);
+        }
+        local.push((index, outcome));
+    }
+    local
 }
 
 /// The outcome of a [`Sampler::sample_batch_report`] call: accepted
@@ -313,8 +370,14 @@ impl<'s> Sampler<'s> {
     /// for every `jobs` value (including 1). Statistics accumulate as if
     /// the scenes were drawn sequentially in index order.
     ///
-    /// `jobs` is clamped to `1..=n`; pass
-    /// `std::thread::available_parallelism()` for a sensible default.
+    /// Runs on the persistent process-wide [`WorkerPool`], so repeated
+    /// batches reuse the same threads instead of paying `jobs` spawns
+    /// per call (use [`Sampler::sample_batch_scoped`] for the zero-state
+    /// scoped-spawn strategy, or [`Sampler::sample_batch_report_with`]
+    /// for a private pool). `jobs` is clamped to `1..=n` — a batch never
+    /// engages more workers than it has scenes, and single-scene batches
+    /// run inline; pass `std::thread::available_parallelism()` for a
+    /// sensible default.
     ///
     /// # Errors
     ///
@@ -332,18 +395,68 @@ impl<'s> Sampler<'s> {
     ///
     /// Same as [`Sampler::sample_batch`].
     pub fn sample_batch_report(&mut self, n: usize, jobs: usize) -> RunResult<BatchReport> {
+        self.sample_batch_report_with(WorkerPool::global(), n, jobs)
+    }
+
+    /// Like [`Sampler::sample_batch_report`], but on a caller-supplied
+    /// [`WorkerPool`] instead of the shared global one (isolation for
+    /// tests, or dedicated pools per subsystem). The pool grows to
+    /// `jobs - 1` workers if needed; one worker always runs inline on
+    /// the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sampler::sample_batch`].
+    pub fn sample_batch_report_with(
+        &mut self,
+        pool: &WorkerPool,
+        n: usize,
+        jobs: usize,
+    ) -> RunResult<BatchReport> {
         let jobs = jobs.clamp(1, n.max(1));
         let slots = if jobs == 1 {
             self.batch_serial(n)
         } else {
-            self.batch_parallel(n, jobs)
+            self.batch_pooled(pool, n, jobs)
         };
+        self.reduce(n, slots)
+    }
 
-        // Deterministic reduction in scene-index order: merge statistics
-        // and collect scenes up to (and including) the first failure.
-        // Slots past a failure may or may not have been computed
-        // depending on worker timing; ignoring them keeps scenes, error,
-        // and statistics all invariant in `jobs`.
+    /// [`Sampler::sample_batch`] on a fresh [`std::thread::scope`] pool
+    /// spawned for this call only — the pre-`WorkerPool` strategy, kept
+    /// as the baseline `benches/pool.rs` measures the persistent pool
+    /// against. Output is byte-identical to the pooled path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sampler::sample_batch`].
+    pub fn sample_batch_scoped(&mut self, n: usize, jobs: usize) -> RunResult<Vec<Scene>> {
+        self.sample_batch_report_scoped(n, jobs).map(|r| r.scenes)
+    }
+
+    /// Like [`Sampler::sample_batch_scoped`], but also returns per-scene
+    /// rejection statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sampler::sample_batch`].
+    pub fn sample_batch_report_scoped(&mut self, n: usize, jobs: usize) -> RunResult<BatchReport> {
+        let jobs = jobs.clamp(1, n.max(1));
+        let slots = if jobs == 1 {
+            self.batch_serial(n)
+        } else {
+            self.batch_scoped(n, jobs)
+        };
+        self.reduce(n, slots)
+    }
+
+    /// Deterministic reduction in scene-index order: merge statistics
+    /// and collect scenes up to (and including) the first failure.
+    /// Slots past a failure may or may not have been computed
+    /// depending on worker timing; ignoring them keeps scenes, error,
+    /// and statistics all invariant in `jobs` and in the dispatch
+    /// strategy.
+    fn reduce(&mut self, n: usize, slots: Vec<BatchSlot>) -> RunResult<BatchReport> {
         let mut report = BatchReport {
             scenes: Vec::with_capacity(n),
             per_scene: Vec::with_capacity(n),
@@ -365,10 +478,34 @@ impl<'s> Sampler<'s> {
         Ok(report)
     }
 
-    /// In-thread batch: identical semantics to the parallel path, with
+    /// The shared worker state for one batch over scenes `0..n`.
+    fn batch_shared(&self, n: usize) -> BatchShared {
+        BatchShared {
+            scenario: self.scenario.clone(),
+            config: self.config,
+            root_seed: self.root_seed,
+            n,
+            next_index: AtomicUsize::new(0),
+            first_error: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Scatters worker results back into index-addressed slots.
+    fn fill_slots(n: usize, results: Vec<IndexedOutcomes>) -> Vec<BatchSlot> {
+        let mut slots: Vec<BatchSlot> = Vec::new();
+        slots.resize_with(n, || None);
+        for local in results {
+            for (index, outcome) in local {
+                slots[index] = Some(outcome);
+            }
+        }
+        slots
+    }
+
+    /// In-thread batch: identical semantics to the parallel paths, with
     /// early exit at the first error.
-    fn batch_serial(&self, n: usize) -> Vec<Option<(RunResult<Scene>, SamplerStats)>> {
-        let mut slots: Vec<Option<(RunResult<Scene>, SamplerStats)>> = Vec::new();
+    fn batch_serial(&self, n: usize) -> Vec<BatchSlot> {
+        let mut slots: Vec<BatchSlot> = Vec::new();
         for index in 0..n {
             let seed = derive_scene_seed(self.root_seed, index as u64);
             let outcome = sample_scene(self.scenario, self.config, seed);
@@ -381,57 +518,32 @@ impl<'s> Sampler<'s> {
         slots
     }
 
-    /// Scoped worker pool over an atomic work counter. Workers pull the
-    /// next scene index, derive its seed, and run a thread-local
-    /// interpreter; after any failure, indices above the lowest failing
-    /// one are abandoned (their results could never be reported).
-    fn batch_parallel(
-        &self,
-        n: usize,
-        jobs: usize,
-    ) -> Vec<Option<(RunResult<Scene>, SamplerStats)>> {
-        let scenario = self.scenario;
-        let config = self.config;
-        let root_seed = self.root_seed;
-        let next_index = AtomicUsize::new(0);
-        let first_error = AtomicUsize::new(usize::MAX);
-
-        let mut slots: Vec<Option<(RunResult<Scene>, SamplerStats)>> = Vec::new();
-        slots.resize_with(n, || None);
-
-        std::thread::scope(|scope| {
+    /// Per-call scoped threads, all running [`drain_batch`].
+    fn batch_scoped(&self, n: usize, jobs: usize) -> Vec<BatchSlot> {
+        let shared = self.batch_shared(n);
+        let results = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..jobs)
                 .map(|_| {
-                    let next_index = &next_index;
-                    let first_error = &first_error;
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let index = next_index.fetch_add(1, Ordering::Relaxed);
-                            // `first_error` only ever decreases, so once
-                            // an index is past it every later index is
-                            // too: stop pulling work.
-                            if index >= n || index > first_error.load(Ordering::Acquire) {
-                                break;
-                            }
-                            let seed = derive_scene_seed(root_seed, index as u64);
-                            let outcome = sample_scene(scenario, config, seed);
-                            if outcome.0.is_err() {
-                                first_error.fetch_min(index, Ordering::AcqRel);
-                            }
-                            local.push((index, outcome));
-                        }
-                        local
-                    })
+                    let shared = &shared;
+                    scope.spawn(move || drain_batch(shared))
                 })
                 .collect();
-            for worker in workers {
-                for (index, outcome) in worker.join().expect("batch worker panicked") {
-                    slots[index] = Some(outcome);
-                }
-            }
+            workers
+                .into_iter()
+                .map(|worker| worker.join().expect("batch worker panicked"))
+                .collect()
         });
-        slots
+        Self::fill_slots(n, results)
+    }
+
+    /// Persistent-pool dispatch: `jobs` copies of [`drain_batch`] on the
+    /// pool (one inline on this thread), no thread spawned after the
+    /// pool's first growth to this concurrency.
+    fn batch_pooled(&self, pool: &WorkerPool, n: usize, jobs: usize) -> Vec<BatchSlot> {
+        let shared = Arc::new(self.batch_shared(n));
+        let worker_shared = Arc::clone(&shared);
+        let results = pool.execute(jobs, move |_| drain_batch(&worker_shared));
+        Self::fill_slots(n, results)
     }
 }
 

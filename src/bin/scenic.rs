@@ -1,36 +1,50 @@
 //! `scenic` — the command-line front end.
 //!
 //! Mirrors how the paper's tool flow (§2, Fig. 2) is driven in practice:
-//! a `.scenic` file goes in, sampled scenes come out in a simulator's
+//! `.scenic` files go in, sampled scenes come out in a simulator's
 //! input format.
 //!
 //! ```text
-//! scenic check  <file> [--world gta|mars|bare]
-//! scenic print  <file>
-//! scenic sample <file> [--world W] [-n N] [--seed S] [--jobs J]
-//!               [--format json|gta|wbt|summary] [--out DIR] [--stats]
+//! scenic check  <file>... [--world gta|mars|bare]
+//! scenic print  <file>...
+//! scenic sample <file>... [--world W] [-n N] [--seed S] [--jobs J]
+//!               [--repeat R] [--format json|gta|wbt|summary]
+//!               [--out DIR] [--stats]
+//! scenic bench-pool <file>... [--world W] [--jobs J] [--seed S]
 //! ```
 //!
 //! `check` parses and compiles (reporting the first error with its
 //! position), `print` re-emits the canonical pretty-printed source, and
 //! `sample` draws `N` scenes by deterministic parallel rejection
-//! sampling (`--jobs` workers; every scene's RNG stream derives from
-//! `--seed` and the scene index, so the output is byte-identical for any
-//! worker count) and writes them to stdout (or one file per scene under
-//! `--out`).
+//! sampling (`--jobs` workers on the persistent process pool; every
+//! scene's RNG stream derives from `--seed` and the scene index, so the
+//! output is byte-identical for any worker count) and writes them to
+//! stdout (or one file per scene under `--out`).
+//!
+//! Repeated and multi-scenario runs compile each source once: all
+//! compilations go through a [`ScenarioCache`] keyed by source content
+//! and world, so `--repeat R` pays one compile for `R` sampling rounds
+//! (round `r` re-roots the seed at `S + r`), and the same file listed
+//! twice — or reached via two paths — is compiled once.
+//!
+//! `bench-pool` measures what the persistent worker pool buys: it times
+//! `sample_batch` per call under the scoped-spawn strategy (fresh
+//! threads per call) and the persistent pool, at batch sizes 1/8/64.
 
-use scenic::core::sampler::Sampler;
-use scenic::core::{compile_with_world, World};
+use scenic::core::sampler::{Sampler, SamplerStats};
+use scenic::core::{compile_with_world, ScenarioCache, World};
 use scenic::prelude::{Scene, Vec2};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage:
-  scenic check  <file> [--world gta|mars|bare]
-  scenic print  <file>
-  scenic sample <file> [--world gta|mars|bare] [-n N] [--seed S]
-                [--jobs J] [--format json|gta|wbt|summary] [--out DIR]
+  scenic check  <file>... [--world gta|mars|bare]
+  scenic print  <file>...
+  scenic sample <file>... [--world gta|mars|bare] [-n N] [--seed S]
+                [--jobs J] [--repeat R]
+                [--format json|gta|wbt|summary] [--out DIR]
                 [--stats] [--ppm]
+  scenic bench-pool <file>... [--world gta|mars|bare] [--jobs J] [--seed S]
 
 options:
   --world W     world/library to compile against (default: gta)
@@ -38,19 +52,28 @@ options:
   --seed S      RNG seed (default: 0)
   --jobs J      sampling worker threads (default: all cores; output is
                 identical for every J)
+  --repeat R    sampling rounds per scenario (default: 1); each source
+                is compiled once and round r uses seed S + r
   --format F    output format (default: summary)
   --out DIR     write one file per scene instead of stdout
-  --stats       print rejection-sampling statistics to stderr
+  --stats       print rejection-sampling and compile-cache statistics
+                to stderr
   --ppm         also write a top-down scene_NNNN.ppm (needs --out)
+
+`bench-pool` compares scoped-spawn vs persistent-pool batch sampling
+per call at batch sizes 1/8/64 (its --jobs defaults to 8).
 ";
 
 struct Options {
     command: String,
-    file: String,
+    files: Vec<String>,
     world: String,
     n: usize,
     seed: u64,
-    jobs: usize,
+    /// `None` until `--jobs` is given: `sample` defaults to all cores,
+    /// `bench-pool` to 8 (the worker count the pool is sized against).
+    jobs: Option<usize>,
+    repeat: usize,
     format: String,
     out: Option<String>,
     stats: bool,
@@ -71,17 +94,17 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
     }
     let mut options = Options {
         command,
-        file: String::new(),
+        files: Vec::new(),
         world: "gta".into(),
         n: 1,
         seed: 0,
-        jobs: default_jobs(),
+        jobs: None,
+        repeat: 1,
         format: "summary".into(),
         out: None,
         stats: false,
         ppm: false,
     };
-    let mut positional = Vec::new();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -100,11 +123,20 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                     .map_err(|_| "--seed needs an integer")?;
             }
             "--jobs" => {
-                options.jobs = take("--jobs")?
+                options.jobs = Some(
+                    take("--jobs")?
+                        .parse()
+                        .ok()
+                        .filter(|j| *j > 0)
+                        .ok_or("--jobs needs a positive integer")?,
+                );
+            }
+            "--repeat" => {
+                options.repeat = take("--repeat")?
                     .parse()
                     .ok()
-                    .filter(|j| *j > 0)
-                    .ok_or("--jobs needs a positive integer")?;
+                    .filter(|r| *r > 0)
+                    .ok_or("--repeat needs a positive integer")?;
             }
             "--format" => options.format = take("--format")?,
             "--out" => options.out = Some(take("--out")?),
@@ -113,13 +145,11 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
-            _ => positional.push(arg),
+            _ => options.files.push(arg),
         }
     }
-    match positional.len() {
-        0 => return Err("missing input file".into()),
-        1 => options.file = positional.remove(0),
-        _ => return Err(format!("unexpected argument `{}`", positional[1])),
+    if options.files.is_empty() {
+        return Err("missing input file".into());
     }
     if !matches!(options.world.as_str(), "gta" | "mars" | "bare") {
         return Err(format!(
@@ -216,71 +246,216 @@ fn file_extension(format: &str) -> &'static str {
     }
 }
 
-fn run(options: &Options) -> Result<(), String> {
-    let source =
-        std::fs::read_to_string(&options.file).map_err(|e| format!("{}: {e}", options.file))?;
+fn read_source(file: &str) -> Result<String, String> {
+    std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))
+}
 
+/// The file-name stem a scenario's output files are prefixed with when
+/// several scenarios share one `--out` directory.
+fn file_stem(file: &str) -> String {
+    std::path::Path::new(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "scenario".into())
+}
+
+/// One output-name stem per input file, disambiguated so two files with
+/// the same stem in different directories (`city/crossing.scenic`,
+/// `rural/crossing.scenic`) never overwrite each other's scenes in a
+/// shared `--out` directory: repeated stems get a positional suffix
+/// (`crossing1`, `crossing2`, …).
+fn unique_stems(files: &[String]) -> Vec<String> {
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for file in files {
+        *counts.entry(file_stem(file)).or_default() += 1;
+    }
+    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    files
+        .iter()
+        .map(|file| {
+            let stem = file_stem(file);
+            if counts[&stem] > 1 {
+                let k = seen.entry(stem.clone()).or_default();
+                *k += 1;
+                format!("{stem}{k}")
+            } else {
+                stem
+            }
+        })
+        .collect()
+}
+
+/// One sampling round of one scenario: draw `n` scenes, write them out.
+#[allow(clippy::too_many_arguments)]
+fn sample_round(
+    options: &Options,
+    world: &LoadedWorld,
+    scenario: &scenic::core::Scenario,
+    file: &str,
+    stem: &str,
+    rep: usize,
+    jobs: usize,
+    total: &mut SamplerStats,
+) -> Result<(), String> {
+    let seed = options.seed.wrapping_add(rep as u64);
+    let mut sampler = Sampler::new(scenario).with_seed(seed);
+    let scenes = sampler
+        .sample_batch(options.n, jobs)
+        .map_err(|e| format!("{file}: {e}"))?;
+    // Per-scene output names must stay unique across scenarios and
+    // rounds sharing one --out directory.
+    let multi_file = options.files.len() > 1;
+    let prefix = match (multi_file, options.repeat > 1) {
+        (false, false) => String::new(),
+        (false, true) => format!("r{rep:02}_"),
+        (true, false) => format!("{stem}_"),
+        (true, true) => format!("{stem}_r{rep:02}_"),
+    };
+    if options.out.is_none() && options.format == "summary" && (multi_file || options.repeat > 1) {
+        println!("=== {file} (round {rep}, seed {seed}) ===");
+    }
+    for (i, scene) in scenes.iter().enumerate() {
+        let text = render(scene, &options.format);
+        match &options.out {
+            Some(dir) => {
+                let path = std::path::Path::new(dir).join(format!(
+                    "{prefix}scene_{i:04}.{}",
+                    file_extension(&options.format)
+                ));
+                std::fs::write(&path, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+                eprintln!("wrote {}", path.display());
+                if options.ppm {
+                    let ppm_path =
+                        std::path::Path::new(dir).join(format!("{prefix}scene_{i:04}.ppm"));
+                    write_ppm(scene, &world.background, &ppm_path)?;
+                    eprintln!("wrote {}", ppm_path.display());
+                }
+            }
+            None => {
+                if options.n > 1 && options.format == "summary" {
+                    println!("--- scene {i} ---");
+                }
+                print!("{text}");
+            }
+        }
+    }
+    total.merge(&sampler.stats());
+    Ok(())
+}
+
+/// Mean wall-clock per call of `f`, in microseconds (one warm-up call,
+/// then at least 8 timed calls or 150 ms, whichever is more).
+fn time_per_call(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: first pool call pays the one-time thread spawn
+    let budget = std::time::Duration::from_millis(150);
+    let start = std::time::Instant::now();
+    let mut calls = 0u32;
+    while calls < 8 || (start.elapsed() < budget && calls < 10_000) {
+        f();
+        calls += 1;
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(calls)
+}
+
+/// `bench-pool`: per-call scoped-spawn vs persistent-pool comparison.
+fn bench_pool(options: &Options, world: &LoadedWorld) -> Result<(), String> {
+    let jobs = options.jobs.unwrap_or(8);
+    for file in &options.files {
+        let source = read_source(file)?;
+        let scenario = compile_with_world(&source, &world.core).map_err(|e| e.to_string())?;
+        println!(
+            "{file}: scoped-spawn vs persistent pool, jobs={jobs}, seed={}",
+            options.seed
+        );
+        for batch in [1usize, 8, 64] {
+            let scoped = time_per_call(|| {
+                let mut sampler = Sampler::new(&scenario).with_seed(options.seed);
+                sampler
+                    .sample_batch_scoped(batch, jobs)
+                    .expect("scoped batch");
+            });
+            let pooled = time_per_call(|| {
+                let mut sampler = Sampler::new(&scenario).with_seed(options.seed);
+                sampler.sample_batch(batch, jobs).expect("pooled batch");
+            });
+            println!(
+                "  batch={batch:>2}: scoped {scoped:>9.1} µs/call, pool {pooled:>9.1} µs/call \
+                 ({:+.1} µs, {:.2}x)",
+                pooled - scoped,
+                scoped / pooled,
+            );
+        }
+    }
+    Ok(())
+}
+
+fn run(options: &Options) -> Result<(), String> {
     match options.command.as_str() {
         "print" => {
-            let program = scenic::lang::parse(&source).map_err(|e| e.to_string())?;
-            print!("{}", scenic::lang::print_program(&program));
+            for file in &options.files {
+                let source = read_source(file)?;
+                let program = scenic::lang::parse(&source).map_err(|e| e.to_string())?;
+                print!("{}", scenic::lang::print_program(&program));
+            }
             Ok(())
         }
         "check" => {
             let world = build_world(&options.world);
-            compile_with_world(&source, &world.core).map_err(|e| e.to_string())?;
-            eprintln!("{}: ok", options.file);
+            let cache = ScenarioCache::new();
+            for file in &options.files {
+                let source = read_source(file)?;
+                cache
+                    .get_or_compile(&options.world, &source, &world.core)
+                    .map_err(|e| format!("{file}: {e}"))?;
+                eprintln!("{file}: ok");
+            }
             Ok(())
         }
         "sample" => {
             let world = build_world(&options.world);
-            let scenario = compile_with_world(&source, &world.core).map_err(|e| e.to_string())?;
-            let mut sampler = Sampler::new(&scenario).with_seed(options.seed);
+            let jobs = options.jobs.unwrap_or_else(default_jobs);
             if let Some(dir) = &options.out {
                 std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
             }
-            let scenes = sampler
-                .sample_batch(options.n, options.jobs)
-                .map_err(|e| e.to_string())?;
-            for (i, scene) in scenes.iter().enumerate() {
-                let text = render(scene, &options.format);
-                match &options.out {
-                    Some(dir) => {
-                        let path = std::path::Path::new(dir)
-                            .join(format!("scene_{i:04}.{}", file_extension(&options.format)));
-                        std::fs::write(&path, &text)
-                            .map_err(|e| format!("{}: {e}", path.display()))?;
-                        eprintln!("wrote {}", path.display());
-                        if options.ppm {
-                            let ppm_path =
-                                std::path::Path::new(dir).join(format!("scene_{i:04}.ppm"));
-                            write_ppm(scene, &world.background, &ppm_path)?;
-                            eprintln!("wrote {}", ppm_path.display());
-                        }
-                    }
-                    None => {
-                        if options.n > 1 && options.format == "summary" {
-                            println!("--- scene {i} ---");
-                        }
-                        print!("{text}");
-                    }
+            // One cache for the whole invocation: a scenario listed
+            // twice, or sampled for --repeat rounds, compiles once.
+            let cache = ScenarioCache::new();
+            let mut total = SamplerStats::default();
+            let stems = unique_stems(&options.files);
+            for (file, stem) in options.files.iter().zip(&stems) {
+                let source = read_source(file)?;
+                for rep in 0..options.repeat {
+                    let scenario = cache
+                        .get_or_compile(&options.world, &source, &world.core)
+                        .map_err(|e| format!("{file}: {e}"))?;
+                    sample_round(
+                        options, &world, &scenario, file, stem, rep, jobs, &mut total,
+                    )?;
                 }
             }
             if options.stats {
-                let stats = sampler.stats();
                 eprintln!(
                     "{} scenes, {} iterations ({:.1}/scene); rejections: \
                      {} requirement, {} collision, {} containment, {} visibility",
-                    stats.scenes,
-                    stats.iterations,
-                    stats.iterations_per_scene(),
-                    stats.requirement_rejections,
-                    stats.collision_rejections,
-                    stats.containment_rejections,
-                    stats.visibility_rejections,
+                    total.scenes,
+                    total.iterations,
+                    total.iterations_per_scene(),
+                    total.requirement_rejections,
+                    total.collision_rejections,
+                    total.containment_rejections,
+                    total.visibility_rejections,
+                );
+                eprintln!(
+                    "compiled {} scenario(s), {} cache hit(s)",
+                    cache.misses(),
+                    cache.hits(),
                 );
             }
             Ok(())
+        }
+        "bench-pool" => {
+            let world = build_world(&options.world);
+            bench_pool(options, &world)
         }
         other => Err(format!("unknown command `{other}`")),
     }

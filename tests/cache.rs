@@ -1,0 +1,131 @@
+//! Integration tests of the compiled-scenario cache and the persistent
+//! sampler worker pool: invalidation semantics, cross-call reuse, and
+//! pooled-vs-scoped output equivalence.
+
+use scenic::gta::{scenarios, MapConfig, World};
+use scenic::prelude::*;
+use std::sync::Arc;
+
+/// FNV-1a (64-bit) over a batch's concatenated canonical JSON — the
+/// same digest family `tests/determinism.rs` pins.
+fn batch_digest(scenes: &[Scene]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for scene in scenes {
+        for byte in scene.to_json().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+#[test]
+fn cache_shares_one_compilation_per_content() {
+    let cache = ScenarioCache::new();
+    let world = World::generate(MapConfig::default());
+    let a = cache
+        .get_or_compile("gta", scenarios::SIMPLEST, world.core())
+        .unwrap();
+    let b = cache
+        .get_or_compile("gta", scenarios::SIMPLEST, world.core())
+        .unwrap();
+    assert!(Arc::ptr_eq(&a, &b), "same content compiled twice");
+    assert_eq!((cache.misses(), cache.hits()), (1, 1));
+}
+
+#[test]
+fn cache_recompiles_edited_source() {
+    let cache = ScenarioCache::new();
+    let world = World::generate(MapConfig::default());
+    let original = scenarios::SIMPLEST;
+    let edited = format!("{original}Car\n");
+    let a = cache.get_or_compile("gta", original, world.core()).unwrap();
+    let b = cache.get_or_compile("gta", &edited, world.core()).unwrap();
+    assert!(!Arc::ptr_eq(&a, &b), "edited source must recompile");
+    assert_ne!(source_hash(original), source_hash(&edited));
+    assert_eq!((cache.misses(), cache.hits()), (2, 0));
+}
+
+#[test]
+fn cached_scenario_samples_identically_to_fresh_compile() {
+    let cache = ScenarioCache::new();
+    let world = World::generate(MapConfig::default());
+    let cached = cache
+        .get_or_compile("gta", scenarios::SIMPLEST, world.core())
+        .unwrap();
+    let fresh = compile_with_world(scenarios::SIMPLEST, world.core()).unwrap();
+    let a = Sampler::new(&cached)
+        .with_seed(11)
+        .sample_batch(3, 2)
+        .unwrap();
+    let b = Sampler::new(&fresh)
+        .with_seed(11)
+        .sample_batch(3, 2)
+        .unwrap();
+    assert_eq!(batch_digest(&a), batch_digest(&b));
+}
+
+#[test]
+fn pool_reuse_matches_fresh_scoped_runs_digest_for_digest() {
+    let world = World::generate(MapConfig::default());
+    let scenario = compile_with_world(scenarios::SIMPLEST, world.core()).unwrap();
+
+    // Two batches back-to-back on the persistent pool (the second call
+    // reuses the threads the first one spawned)...
+    let pooled_first = Sampler::new(&scenario)
+        .with_seed(3)
+        .sample_batch(4, 4)
+        .unwrap();
+    let pooled_second = Sampler::new(&scenario)
+        .with_seed(9)
+        .sample_batch(4, 4)
+        .unwrap();
+
+    // ...must equal two fresh scoped-spawn runs, digest for digest.
+    let scoped_first = Sampler::new(&scenario)
+        .with_seed(3)
+        .sample_batch_scoped(4, 4)
+        .unwrap();
+    let scoped_second = Sampler::new(&scenario)
+        .with_seed(9)
+        .sample_batch_scoped(4, 4)
+        .unwrap();
+    assert_eq!(batch_digest(&pooled_first), batch_digest(&scoped_first));
+    assert_eq!(batch_digest(&pooled_second), batch_digest(&scoped_second));
+    assert_ne!(batch_digest(&pooled_first), batch_digest(&pooled_second));
+}
+
+#[test]
+fn private_pool_reports_match_scoped_reports() {
+    let scenario = compile("ego = Object at 0 @ 0\nObject at 0 @ (4, 9)\n").unwrap();
+    let pool = WorkerPool::new(1);
+    let mut pooled = Sampler::new(&scenario).with_seed(5);
+    let mut scoped = Sampler::new(&scenario).with_seed(5);
+    for _ in 0..2 {
+        let a = pooled.sample_batch_report_with(&pool, 5, 3).unwrap();
+        let b = scoped.sample_batch_report_scoped(5, 3).unwrap();
+        assert_eq!(batch_digest(&a.scenes), batch_digest(&b.scenes));
+        assert_eq!(a.per_scene, b.per_scene);
+    }
+    assert_eq!(pooled.stats(), scoped.stats());
+    // jobs=3 runs one worker inline and two on the pool: the 1-thread
+    // pool must have grown to 2 for the first batch, then stayed put.
+    assert_eq!(pool.workers(), 2, "pool did not grow for the batches");
+}
+
+#[test]
+fn pooled_batch_error_matches_scoped_error() {
+    // Unsatisfiable: two objects pinned to the same spot.
+    let scenario = compile("ego = Object at 0 @ 0\nObject at 0 @ 0.5\n").unwrap();
+    let config = SamplerConfig { max_iterations: 5 };
+    let mut pooled = Sampler::new(&scenario).with_seed(1).with_config(config);
+    let mut scoped = Sampler::new(&scenario).with_seed(1).with_config(config);
+    let a = pooled.sample_batch(4, 4).unwrap_err();
+    let b = scoped.sample_batch_scoped(4, 4).unwrap_err();
+    assert_eq!(a, b, "pooled and scoped dispatch disagree on the error");
+    assert_eq!(
+        pooled.stats(),
+        scoped.stats(),
+        "cancellation statistics drifted between dispatch strategies"
+    );
+}

@@ -290,3 +290,160 @@ fn missing_file_is_a_clean_error() {
     assert_eq!(out.status.code(), Some(1));
     assert!(stderr(&out).contains("error:"));
 }
+
+#[test]
+fn repeat_compiles_once_and_reroots_the_seed() {
+    let path = write_scenario("repeat.scenic", "ego = Car\nCar\n");
+    let repeated = run(&[
+        "sample",
+        path.to_str().unwrap(),
+        "--seed",
+        "4",
+        "--repeat",
+        "2",
+        "--stats",
+    ]);
+    assert!(repeated.status.success(), "{}", stderr(&repeated));
+    // One compile, one cache hit: the scenario compiled once for both
+    // rounds.
+    assert!(
+        stderr(&repeated).contains("compiled 1 scenario(s), 1 cache hit(s)"),
+        "{}",
+        stderr(&repeated)
+    );
+    // Round r samples with seed S + r: the repeated run's scenes are
+    // exactly the single-run outputs at seeds 4 and 5.
+    let single_4 = run(&["sample", path.to_str().unwrap(), "--seed", "4"]);
+    let single_5 = run(&["sample", path.to_str().unwrap(), "--seed", "5"]);
+    let text = stdout(&repeated);
+    assert!(text.contains(stdout(&single_4).trim()), "{text}");
+    assert!(text.contains(stdout(&single_5).trim()), "{text}");
+}
+
+#[test]
+fn identical_source_under_a_different_path_hits_the_cache() {
+    let source = "ego = Car\nCar\n";
+    let a = write_scenario("same_a.scenic", source);
+    let b = write_scenario("same_b.scenic", source);
+    let out = run(&[
+        "sample",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--seed",
+        "1",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    // The cache keys on content, not path: the second file is a hit.
+    assert!(
+        stderr(&out).contains("compiled 1 scenario(s), 1 cache hit(s)"),
+        "{}",
+        stderr(&out)
+    );
+    // Same world, same seed, same content: both files produce the same
+    // scene.
+    let text = stdout(&out);
+    assert!(text.contains("same_a"), "{text}");
+    assert!(text.contains("same_b"), "{text}");
+}
+
+#[test]
+fn multi_file_sample_compiles_distinct_sources_separately() {
+    let a = write_scenario("multi_a.scenic", "ego = Car\nCar\n");
+    let b = write_scenario("multi_b.scenic", "ego = Car\nCar\nCar\n");
+    let out = run(&[
+        "sample",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--seed",
+        "2",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("compiled 2 scenario(s), 0 cache hit(s)"),
+        "{}",
+        stderr(&out)
+    );
+    assert_eq!(stdout(&out).matches("Car").count(), 5, "{}", stdout(&out));
+}
+
+#[test]
+fn repeat_with_out_dir_prefixes_round_numbers() {
+    let path = write_scenario("repout.scenic", "ego = Car\nCar\n");
+    let dir = std::env::temp_dir().join("scenic-cli-tests/repeat-out");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = run(&[
+        "sample",
+        path.to_str().unwrap(),
+        "--repeat",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(dir.join("r00_scene_0000.txt").exists());
+    assert!(dir.join("r01_scene_0000.txt").exists());
+}
+
+#[test]
+fn same_stem_in_different_directories_does_not_collide_in_out_dir() {
+    let base = std::env::temp_dir().join("scenic-cli-tests");
+    for sub in ["city", "rural"] {
+        std::fs::create_dir_all(base.join(sub)).unwrap();
+    }
+    let a = base.join("city/crossing.scenic");
+    let b = base.join("rural/crossing.scenic");
+    std::fs::write(&a, "ego = Car\n").unwrap();
+    std::fs::write(&b, "ego = Car\nCar\n").unwrap();
+    let dir = base.join("stem-out");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = run(&[
+        "sample",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    // Both scenarios' scenes survive under disambiguated stems.
+    assert!(dir.join("crossing1_scene_0000.txt").exists());
+    assert!(dir.join("crossing2_scene_0000.txt").exists());
+}
+
+#[test]
+fn zero_repeat_is_rejected() {
+    let path = write_scenario("rep0.scenic", "ego = Car\n");
+    let out = run(&["sample", path.to_str().unwrap(), "--repeat", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--repeat"), "{}", stderr(&out));
+}
+
+#[test]
+fn check_accepts_multiple_files() {
+    let a = write_scenario("chk_a.scenic", "ego = Car\n");
+    let b = write_scenario("chk_b.scenic", "ego = Car\nCar\n");
+    let out = run(&["check", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stderr(&out).matches(": ok").count(), 2, "{}", stderr(&out));
+}
+
+#[test]
+fn bench_pool_reports_both_strategies() {
+    let path = write_scenario("bench.scenic", "ego = Object at 0 @ 0\n");
+    let out = run(&[
+        "bench-pool",
+        path.to_str().unwrap(),
+        "--world",
+        "bare",
+        "--jobs",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("jobs=2"), "{text}");
+    for batch in ["batch= 1", "batch= 8", "batch=64"] {
+        assert!(text.contains(batch), "missing {batch}: {text}");
+    }
+    assert!(text.contains("scoped") && text.contains("pool"), "{text}");
+}
