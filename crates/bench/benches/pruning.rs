@@ -1,23 +1,36 @@
 //! Pruning effectiveness (Appendix D): scene generation with vs without
-//! the §5.2 sample-space pruning.
+//! the §5.2 sample-space pruning, in both application modes.
+//!
+//! - `oncoming_scenario/*`: the original restrict-mode comparison — the
+//!   `road` region is replaced by its pruned restriction
+//!   (`World::pruned`), so the sampler never draws pruned-away
+//!   positions.
+//! - `oncoming_batch/*`: pruned-vs-unpruned scenes/sec on the batch
+//!   path, sweeping unpruned sampling, in-sampler guard mode
+//!   (`Sampler::with_prune_params`, byte-identical output, doomed
+//!   candidates abandoned early), and restrict mode (fastest, RNG
+//!   stream shifts). Run on a mostly one-way city, where orientation
+//!   pruning has the most to remove for an oncoming-car constraint.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use scenic_core::prune::PruneParams;
 use scenic_core::sampler::{Sampler, SamplerConfig};
 use scenic_gta::{scenarios, MapConfig, World};
 
+fn oncoming_params() -> PruneParams {
+    let pi = std::f64::consts::PI;
+    PruneParams {
+        min_radius: 1.0,
+        relative_heading: Some((pi - 0.6, pi + 0.6)),
+        max_distance: 50.0,
+        heading_tolerance: 0.0,
+        min_width: None,
+    }
+}
+
 fn bench_pruning(c: &mut Criterion) {
     let world = World::generate(MapConfig::default());
-    let pi = std::f64::consts::PI;
-    let pruned = world
-        .pruned(&PruneParams {
-            min_radius: 1.0,
-            relative_heading: Some((pi - 0.6, pi + 0.6)),
-            max_distance: 50.0,
-            heading_tolerance: 0.0,
-            min_width: None,
-        })
-        .unwrap();
+    let pruned = world.pruned(&oncoming_params()).unwrap();
 
     let mut group = c.benchmark_group("oncoming_scenario");
     group.sample_size(10);
@@ -35,5 +48,48 @@ fn bench_pruning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pruning);
+/// Batch-path sweep on a one-way-heavy city: scenes/sec for unpruned,
+/// guard-mode, and restrict-mode sampling of the same scenario.
+fn bench_pruning_batch(c: &mut Criterion) {
+    const BATCH: usize = 4;
+    const JOBS: usize = 2;
+    let config = SamplerConfig {
+        max_iterations: 100_000,
+    };
+    let world = World::generate(MapConfig {
+        arterial_every: 0,
+        one_way_fraction: 0.85,
+        ..MapConfig::default()
+    });
+    let params = oncoming_params();
+    let restricted = world.pruned(&params).unwrap();
+    let unpruned = scenic_core::compile_with_world(scenarios::ONCOMING, world.core()).unwrap();
+    let replaced = scenic_core::compile_with_world(scenarios::ONCOMING, &restricted).unwrap();
+
+    // The prepare step (plan construction) runs once per compiled
+    // scenario in real use; build it once here too so the sweep
+    // measures sampling, not repeated O(cells²) pruning.
+    let plan = unpruned.prune_plan_with(&params);
+
+    let mut group = c.benchmark_group("oncoming_batch");
+    group.sample_size(10);
+    group.bench_function("unpruned", |b| {
+        let mut sampler = Sampler::new(&unpruned).with_seed(9).with_config(config);
+        b.iter(|| sampler.sample_batch(BATCH, JOBS).expect("batch"));
+    });
+    group.bench_function("guard", |b| {
+        let mut sampler = Sampler::new(&unpruned)
+            .with_seed(9)
+            .with_config(config)
+            .with_prune_plan(plan.clone());
+        b.iter(|| sampler.sample_batch(BATCH, JOBS).expect("batch"));
+    });
+    group.bench_function("restrict", |b| {
+        let mut sampler = Sampler::new(&replaced).with_seed(9).with_config(config);
+        b.iter(|| sampler.sample_batch(BATCH, JOBS).expect("batch"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning, bench_pruning_batch);
 criterion_main!(benches);

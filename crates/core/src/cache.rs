@@ -22,6 +22,11 @@
 //! reproduce (parsing fails fast) and callers usually want the error
 //! anew, e.g. after fixing the file.
 //!
+//! Cached scenarios carry their §5.2 prune plan with them: the plan is
+//! built lazily behind a shared `OnceLock` on the [`Scenario`], so a
+//! cache hit (or any clone handed to batch workers) reuses the pruned
+//! regions instead of re-running the prepare step.
+//!
 //! # Example
 //!
 //! ```

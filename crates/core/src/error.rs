@@ -2,6 +2,33 @@
 
 use std::fmt;
 
+/// One of the §5.2 sample-space pruning techniques (Algorithms 2 & 3
+/// plus containment erosion). Used to attribute prune-guard rejections
+/// to the technique whose region restriction caught them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pruner {
+    /// Containment pruning: positions must keep the minimum object
+    /// radius of clearance from the workspace boundary.
+    Containment,
+    /// Orientation pruning (Algorithm 2): cells whose relative heading
+    /// to every cell within the maximum distance falls outside the
+    /// allowed interval.
+    Orientation,
+    /// Size pruning (Algorithm 3): cells too narrow for the whole
+    /// configuration, beyond reach of any other cell.
+    Size,
+}
+
+impl fmt::Display for Pruner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pruner::Containment => write!(f, "containment"),
+            Pruner::Orientation => write!(f, "orientation"),
+            Pruner::Size => write!(f, "size"),
+        }
+    }
+}
+
 /// Why a scene-generation run was rejected (not an error: rejection
 /// sampling simply retries, per §5.2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +49,12 @@ pub enum Rejection {
     /// A region sampler could not produce a point (empty or
     /// over-constrained region).
     EmptyRegion,
+    /// A position drawn from a pruned region fell outside the §5.2
+    /// restriction — the run could never be accepted, so the sampler
+    /// abandons it before finishing the (expensive) interpretation and
+    /// requirement checks. Tagged with the pruner whose restriction
+    /// caught it.
+    Pruned(Pruner),
 }
 
 impl fmt::Display for Rejection {
@@ -34,6 +67,9 @@ impl fmt::Display for Rejection {
             Rejection::Containment => write!(f, "object outside workspace"),
             Rejection::Visibility => write!(f, "object not visible from ego"),
             Rejection::EmptyRegion => write!(f, "sampled region is empty"),
+            Rejection::Pruned(p) => {
+                write!(f, "position outside the {p}-pruned region")
+            }
         }
     }
 }

@@ -13,6 +13,7 @@ use crate::class::{self_dependencies, RuntimeClass, PRELUDE};
 use crate::env::{assign, define, lookup, EnvRef, Scope};
 use crate::error::{Rejection, RunResult, ScenicError};
 use crate::object::{oriented_point, ObjData, ObjRef};
+use crate::prune::{self, PruneParams, PrunePlan};
 use crate::scene::{PropValue, Scene, SceneObject};
 use crate::specifier::{resolve, SpecMeta, SpecSource};
 use crate::value::{dict_get, tainted, DistSpec, NativeCtx, Value};
@@ -52,6 +53,10 @@ pub struct Scenario {
     pub world: World,
     prelude: Arc<Program>,
     module_programs: HashMap<String, Arc<Program>>,
+    /// The derived-parameter §5.2 prune plan, built lazily on first use
+    /// and shared by every clone of this compiled scenario (so
+    /// `ScenarioCache` hits and batch workers never re-prune).
+    prune: Arc<std::sync::OnceLock<Arc<PrunePlan>>>,
 }
 
 // The parallel batch sampler relies on this; a non-thread-safe field
@@ -99,6 +104,7 @@ pub fn compile_with_world(source: &str, world: &World) -> RunResult<Scenario> {
         world: world.clone(),
         prelude,
         module_programs,
+        prune: Arc::new(std::sync::OnceLock::new()),
     })
 }
 
@@ -122,6 +128,60 @@ impl Scenario {
     pub fn generate_seeded(&self, seed: u64) -> RunResult<Scene> {
         let mut rng = StdRng::seed_from_u64(seed);
         self.generate(&mut rng)
+    }
+
+    /// Like [`Scenario::generate`], but with the §5.2 prune guards of
+    /// `plan` active: positions are still drawn from the original
+    /// regions (the RNG stream is byte-identical to an unguarded run),
+    /// but a draw outside a guarded region's pruned restriction aborts
+    /// the run immediately with [`Rejection::Pruned`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::generate`], plus the early
+    /// [`ScenicError::Rejected`]\([`Rejection::Pruned`]\) rejections.
+    pub fn generate_pruned<'a>(
+        &'a self,
+        rng: &mut StdRng,
+        plan: Option<&'a PrunePlan>,
+    ) -> RunResult<Scene> {
+        let mut interp = Interpreter::new(self, rng);
+        interp.prune = plan;
+        interp.run()
+    }
+
+    /// The [`PruneParams`] the §5.2 prepare step derives from this
+    /// scenario's parsed sources (user program, prelude, and module
+    /// libraries) — see [`prune::derive_params`] for the rules.
+    pub fn derived_prune_params(&self) -> PruneParams {
+        let mut programs: Vec<&Program> = vec![&self.prelude, &self.program];
+        let mut names: Vec<&String> = self.module_programs.keys().collect();
+        names.sort();
+        for name in names {
+            programs.push(&self.module_programs[name]);
+        }
+        prune::derive_params(&programs)
+    }
+
+    /// The derived-parameter prune plan, built once per compiled
+    /// scenario and shared by all clones — repeated sampling (and
+    /// `ScenarioCache` hits) never re-prune.
+    pub fn prune_plan(&self) -> Arc<PrunePlan> {
+        Arc::clone(self.prune.get_or_init(|| {
+            Arc::new(prune::plan_for_world(
+                &self.world,
+                &self.derived_prune_params(),
+            ))
+        }))
+    }
+
+    /// A prune plan for caller-supplied parameters (bypasses the
+    /// derived-plan cache). The §5.2 soundness obligations — e.g. that
+    /// a `relative_heading` interval really is implied by the
+    /// scenario's requirements — are the caller's, exactly as for
+    /// restrict-mode [`prune::prune_region`].
+    pub fn prune_plan_with(&self, params: &PruneParams) -> Arc<PrunePlan> {
+        Arc::new(prune::plan_for_world(&self.world, params))
     }
 }
 
@@ -186,6 +246,8 @@ struct DeferredRequirement {
 pub struct Interpreter<'s, 'r> {
     scenario: &'s Scenario,
     rng: &'r mut StdRng,
+    /// Active §5.2 prune guards, if any ([`Scenario::generate_pruned`]).
+    prune: Option<&'s PrunePlan>,
     globals: EnvRef,
     objects: Vec<ObjRef>,
     ego: Option<ObjRef>,
@@ -203,6 +265,7 @@ impl<'s, 'r> Interpreter<'s, 'r> {
         Interpreter {
             scenario,
             rng,
+            prune: None,
             globals: Scope::root(),
             objects: Vec::new(),
             ego: None,
@@ -1262,6 +1325,14 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                     let p = region
                         .sample(self.rng)
                         .ok_or(ScenicError::Rejected(Rejection::EmptyRegion))?;
+                    // §5.2 prune guard: the draw came from the original
+                    // region (stream-identical to unpruned sampling),
+                    // but if it falls outside the pruned restriction
+                    // this run can never be accepted — abandon it now,
+                    // before the rest of the interpretation.
+                    if let Some(pruner) = self.prune.and_then(|plan| plan.check(&region, p)) {
+                        return Err(ScenicError::Rejected(Rejection::Pruned(pruner)));
+                    }
                     let mut values = vec![("position".to_string(), Value::Vector(p))];
                     let mut optional = vec![];
                     if let Some(h) = region.orientation_at(p) {

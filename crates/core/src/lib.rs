@@ -52,9 +52,10 @@ pub mod value;
 pub mod world;
 
 pub use cache::{source_hash, ScenarioCache};
-pub use error::{Rejection, RunResult, ScenicError};
+pub use error::{Pruner, Rejection, RunResult, ScenicError};
 pub use interp::{compile, compile_with_world, Interpreter, Scenario};
 pub use pool::WorkerPool;
+pub use prune::{PruneParams, PrunePlan};
 pub use sampler::{derive_scene_seed, BatchReport, Sampler, SamplerConfig, SamplerStats};
 pub use scene::{PropValue, Scene, SceneObject};
 pub use value::Value;

@@ -28,9 +28,10 @@
 //!   as the baseline the pool is benchmarked against, see
 //!   `benches/pool.rs`).
 
-use crate::error::{Rejection, RunResult, ScenicError};
+use crate::error::{Pruner, Rejection, RunResult, ScenicError};
 use crate::interp::Scenario;
 use crate::pool::WorkerPool;
+use crate::prune::{PruneParams, PrunePlan};
 use crate::scene::Scene;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,6 +72,15 @@ pub struct SamplerStats {
     pub visibility_rejections: usize,
     /// Rejections from empty/over-constrained regions.
     pub empty_region_rejections: usize,
+    /// Candidate runs the §5.2 containment prune guard killed early
+    /// (position drawn too close to the workspace boundary for any
+    /// object to fit).
+    pub prune_containment_rejections: usize,
+    /// Candidate runs the orientation prune guard (Algorithm 2) killed
+    /// early.
+    pub prune_orientation_rejections: usize,
+    /// Candidate runs the size prune guard (Algorithm 3) killed early.
+    pub prune_size_rejections: usize,
 }
 
 impl SamplerStats {
@@ -88,8 +98,46 @@ impl SamplerStats {
         }
     }
 
+    /// Candidate runs killed early by any §5.2 prune guard.
+    pub fn prune_rejections(&self) -> usize {
+        self.prune_containment_rejections
+            + self.prune_orientation_rejections
+            + self.prune_size_rejections
+    }
+
+    /// Runs killed early by one specific pruner.
+    pub fn prune_rejections_by(&self, pruner: Pruner) -> usize {
+        match pruner {
+            Pruner::Containment => self.prune_containment_rejections,
+            Pruner::Orientation => self.prune_orientation_rejections,
+            Pruner::Size => self.prune_size_rejections,
+        }
+    }
+
+    /// Iterations that got past the prune guards into full
+    /// interpretation — the iteration count a sampler drawing directly
+    /// from the pruned regions would have paid. With pruning off this
+    /// equals [`SamplerStats::iterations`]; the gap between the two is
+    /// the Appendix D "unpruned vs pruned" comparison, measured from a
+    /// single guarded run.
+    pub fn full_iterations(&self) -> usize {
+        self.iterations - self.prune_rejections()
+    }
+
+    /// Mean fully-interpreted runs per accepted scene (the "pruned"
+    /// iterations-per-scene column of Appendix D).
+    pub fn full_iterations_per_scene(&self) -> f64 {
+        if self.scenes == 0 {
+            f64::NAN
+        } else {
+            self.full_iterations() as f64 / self.scenes as f64
+        }
+    }
+
     /// Adds another run's counters into this one (used to reduce
-    /// per-scene batch statistics in index order).
+    /// per-scene batch statistics in index order). Pure counter
+    /// addition, so merging is associative and commutative — batch
+    /// totals are independent of worker count and merge order.
     pub fn merge(&mut self, other: &SamplerStats) {
         self.scenes += other.scenes;
         self.iterations += other.iterations;
@@ -98,6 +146,9 @@ impl SamplerStats {
         self.containment_rejections += other.containment_rejections;
         self.visibility_rejections += other.visibility_rejections;
         self.empty_region_rejections += other.empty_region_rejections;
+        self.prune_containment_rejections += other.prune_containment_rejections;
+        self.prune_orientation_rejections += other.prune_orientation_rejections;
+        self.prune_size_rejections += other.prune_size_rejections;
     }
 
     fn record(&mut self, rejection: &Rejection) {
@@ -107,6 +158,9 @@ impl SamplerStats {
             Rejection::Containment => self.containment_rejections += 1,
             Rejection::Visibility => self.visibility_rejections += 1,
             Rejection::EmptyRegion => self.empty_region_rejections += 1,
+            Rejection::Pruned(Pruner::Containment) => self.prune_containment_rejections += 1,
+            Rejection::Pruned(Pruner::Orientation) => self.prune_orientation_rejections += 1,
+            Rejection::Pruned(Pruner::Size) => self.prune_size_rejections += 1,
         }
     }
 }
@@ -147,6 +201,8 @@ type IndexedOutcomes = Vec<(usize, (RunResult<Scene>, SamplerStats))>;
 struct BatchShared {
     scenario: Scenario,
     config: SamplerConfig,
+    /// Active §5.2 prune guards, shared by every worker.
+    prune: Option<Arc<PrunePlan>>,
     root_seed: u64,
     n: usize,
     /// Next unclaimed scene index (dynamic work pulling).
@@ -169,7 +225,12 @@ fn drain_batch(shared: &BatchShared) -> IndexedOutcomes {
             break;
         }
         let seed = derive_scene_seed(shared.root_seed, index as u64);
-        let outcome = sample_scene(&shared.scenario, shared.config, seed);
+        let outcome = sample_scene(
+            &shared.scenario,
+            shared.config,
+            seed,
+            shared.prune.as_deref(),
+        );
         if outcome.0.is_err() {
             shared.first_error.fetch_min(index, Ordering::AcqRel);
         }
@@ -209,13 +270,17 @@ fn sample_scene(
     scenario: &Scenario,
     config: SamplerConfig,
     seed: u64,
+    prune: Option<&PrunePlan>,
 ) -> (RunResult<Scene>, SamplerStats) {
     let mut stats = SamplerStats::default();
     let mut seed_rng = StdRng::seed_from_u64(seed);
     for _ in 0..config.max_iterations {
         stats.iterations += 1;
+        // One seed draw per candidate, whatever happens inside the run:
+        // the candidate stream — and therefore the accepted scenes — is
+        // identical with prune guards on or off.
         let mut run_rng = StdRng::seed_from_u64(seed_rng.gen());
-        match scenario.generate(&mut run_rng) {
+        match scenario.generate_pruned(&mut run_rng, prune) {
             Ok(scene) => {
                 stats.scenes += 1;
                 return (Ok(scene), stats);
@@ -271,11 +336,13 @@ pub struct Sampler<'s> {
     /// Stateful stream for the legacy sequential `sample` path.
     rng: StdRng,
     stats: SamplerStats,
+    /// Active §5.2 prune guards (`None` = unpruned sampling).
+    prune: Option<Arc<PrunePlan>>,
 }
 
 impl<'s> Sampler<'s> {
-    /// Creates a sampler with default configuration and an
-    /// entropy-derived root seed.
+    /// Creates a sampler with default configuration, an entropy-derived
+    /// root seed, and pruning off.
     pub fn new(scenario: &'s Scenario) -> Self {
         let root_seed = StdRng::from_entropy().gen();
         Sampler {
@@ -284,6 +351,7 @@ impl<'s> Sampler<'s> {
             root_seed,
             rng: StdRng::seed_from_u64(root_seed),
             stats: SamplerStats::default(),
+            prune: None,
         }
     }
 
@@ -291,6 +359,50 @@ impl<'s> Sampler<'s> {
     pub fn with_config(mut self, config: SamplerConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Turns on §5.2 prune guards with the scenario's auto-derived
+    /// parameters ([`Scenario::derived_prune_params`]). Guarded
+    /// sampling is **acceptance-invariant**: it draws the same
+    /// candidate stream as unpruned sampling and accepts byte-identical
+    /// scenes — but candidates whose region draws land outside the
+    /// pruned restrictions are abandoned before full interpretation,
+    /// and counted per pruner in [`SamplerStats`]. A plan with no
+    /// applicable guards is dropped (sampling stays literally
+    /// unpruned).
+    pub fn with_pruning(mut self) -> Self {
+        let plan = self.scenario.prune_plan();
+        self.prune = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
+    /// Like [`Sampler::with_pruning`], but with caller-supplied
+    /// [`PruneParams`] (the §5.2 soundness obligations are then the
+    /// caller's: unsound parameters make pruning reject scenes that
+    /// unpruned sampling would accept).
+    pub fn with_prune_params(mut self, params: &PruneParams) -> Self {
+        let plan = self.scenario.prune_plan_with(params);
+        self.prune = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
+    /// Like [`Sampler::with_pruning`], but reusing an already-built
+    /// plan (e.g. one [`Scenario::prune_plan_with`] result shared by
+    /// many samplers, so the prepare step runs once, not per sampler).
+    pub fn with_prune_plan(mut self, plan: Arc<PrunePlan>) -> Self {
+        self.prune = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
+    /// Turns prune guards off again.
+    pub fn without_pruning(mut self) -> Self {
+        self.prune = None;
+        self
+    }
+
+    /// The active prune plan, if any.
+    pub fn prune_plan(&self) -> Option<&Arc<PrunePlan>> {
+        self.prune.as_ref()
     }
 
     /// Sets the root seed (for reproducible streams): reseeds the
@@ -327,7 +439,10 @@ impl<'s> Sampler<'s> {
         for _ in 0..self.config.max_iterations {
             self.stats.iterations += 1;
             let mut run_rng = StdRng::seed_from_u64(self.rng.gen());
-            match self.scenario.generate(&mut run_rng) {
+            match self
+                .scenario
+                .generate_pruned(&mut run_rng, self.prune.as_deref())
+            {
                 Ok(scene) => {
                     self.stats.scenes += 1;
                     return Ok(scene);
@@ -350,7 +465,7 @@ impl<'s> Sampler<'s> {
     ///
     /// Same as [`Sampler::sample`].
     pub fn sample_seeded(&mut self, seed: u64) -> RunResult<Scene> {
-        let (result, stats) = sample_scene(self.scenario, self.config, seed);
+        let (result, stats) = sample_scene(self.scenario, self.config, seed, self.prune.as_deref());
         self.stats.merge(&stats);
         result
     }
@@ -483,6 +598,7 @@ impl<'s> Sampler<'s> {
         BatchShared {
             scenario: self.scenario.clone(),
             config: self.config,
+            prune: self.prune.clone(),
             root_seed: self.root_seed,
             n,
             next_index: AtomicUsize::new(0),
@@ -508,7 +624,7 @@ impl<'s> Sampler<'s> {
         let mut slots: Vec<BatchSlot> = Vec::new();
         for index in 0..n {
             let seed = derive_scene_seed(self.root_seed, index as u64);
-            let outcome = sample_scene(self.scenario, self.config, seed);
+            let outcome = sample_scene(self.scenario, self.config, seed, self.prune.as_deref());
             let failed = outcome.0.is_err();
             slots.push(Some(outcome));
             if failed {

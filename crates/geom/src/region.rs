@@ -68,6 +68,31 @@ impl PolygonRegion {
         r
     }
 
+    /// The current erosion margin (0 when the region is un-eroded).
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// Total length of the outer boundary (edges not shared between two
+    /// cells).
+    pub fn boundary_length(&self) -> f64 {
+        self.boundary_edges
+            .iter()
+            .map(|&(a, b)| a.distance_to(b))
+            .sum()
+    }
+
+    /// First-order area estimate honoring the erosion margin: the raw
+    /// polygon area minus a boundary strip of width `margin`, clamped at
+    /// zero. Exact for un-eroded regions; for eroded ones it ignores
+    /// corner effects (an over-estimate at convex corners, an
+    /// under-estimate at reflex ones). The §5.2 pruning layer applies
+    /// the same boundary-strip correction to its union estimates;
+    /// overlap-free callers can use this directly.
+    pub fn area_estimate(&self) -> f64 {
+        (self.area() - self.margin * self.boundary_length()).max(0.0)
+    }
+
     /// Distance from `p` to the outer boundary of the union.
     pub fn distance_to_outer_boundary(&self, p: Vec2) -> f64 {
         self.boundary_edges
@@ -226,6 +251,20 @@ impl Region {
         }
     }
 
+    /// Area of the region, when it has a direct one: exact for sectors
+    /// and un-eroded polygon sets, a first-order boundary-strip estimate
+    /// for eroded ones ([`PolygonRegion::area_estimate`]), zero for the
+    /// empty region, and `None` for unbounded or composite regions
+    /// (whose area has no closed form here).
+    pub fn area_estimate(&self) -> Option<f64> {
+        match self {
+            Region::Empty => Some(0.0),
+            Region::Everywhere | Region::Intersection(..) | Region::Difference(..) => None,
+            Region::Sector(s) => Some(s.area()),
+            Region::Polygons(pr) => Some(pr.area_estimate()),
+        }
+    }
+
     /// Bounding box, if the region is bounded.
     pub fn aabb(&self) -> Option<Aabb> {
         match self {
@@ -375,6 +414,21 @@ mod tests {
         let eroded = pr.eroded(4.0);
         assert!(eroded.contains(Vec2::ZERO));
         assert!(!eroded.contains(Vec2::new(-9.0, 0.0)));
+    }
+
+    #[test]
+    fn area_estimates() {
+        let r = Region::rectangle(Vec2::ZERO, 10.0, 10.0);
+        assert_eq!(r.area_estimate(), Some(100.0));
+        // Eroding by 1 removes a boundary strip: 100 − 1·40 = 60 (the
+        // exact eroded area is 64; the estimate ignores corners).
+        let eroded = r.eroded(1.0);
+        assert_eq!(eroded.area_estimate(), Some(60.0));
+        assert_eq!(Region::Empty.area_estimate(), Some(0.0));
+        assert!(Region::Everywhere.area_estimate().is_none());
+        let Region::Polygons(pr) = &r else { panic!() };
+        assert!((pr.boundary_length() - 40.0).abs() < 1e-9);
+        assert_eq!(pr.margin(), 0.0);
     }
 
     #[test]

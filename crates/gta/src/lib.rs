@@ -26,7 +26,7 @@ pub mod scenarios;
 pub use map::{MapConfig, RoadMap};
 pub use models::{CarColor, CarModel, CAR_COLORS, CAR_MODELS, EGO_MODEL, WEATHER_TYPES};
 
-use scenic_core::prune::{prune_cells, PruneParams};
+use scenic_core::prune::{prune_region, PruneParams, PrunerEffect};
 use scenic_core::value::{DistSpec, NativeFn, Value};
 use scenic_core::{Module, NativeValue, RunResult};
 use scenic_geom::{Heading, Region, VectorField};
@@ -84,29 +84,47 @@ impl World {
         &self.core
     }
 
-    /// A copy of the world whose `road` region has been pruned per
-    /// §5.2, for faster sampling (positions only; orientations and
-    /// requirement checks are unaffected).
+    /// A copy of the world whose `road` region has been *replaced* by
+    /// its §5.2-pruned restriction, for faster sampling (positions
+    /// only; orientations and requirement checks are unaffected).
+    ///
+    /// Thin wrapper over the core restrict-mode path
+    /// ([`scenic_core::prune::prune_region`]): the only gta-specific
+    /// choice is the cell granularity — width pruning reasons about
+    /// whole direction blocks (a single lane is always "narrow"), the
+    /// other pruners use lane cells. Prefer the in-sampler guard mode
+    /// ([`scenic_core::sampler::Sampler::with_pruning`]) when
+    /// byte-identical output matters; region replacement shifts the RNG
+    /// stream. See [`World::pruned_report`] for the same substitution
+    /// with its per-pruner area effects.
     ///
     /// # Errors
     ///
     /// Propagates failures from the world rewrite (absent module —
     /// cannot happen for worlds built by [`World::generate`]).
     pub fn pruned(&self, params: &PruneParams) -> RunResult<scenic_core::World> {
-        // Width pruning reasons about whole direction blocks (a single
-        // lane is always \"narrow\"); orientation pruning uses lane
-        // cells.
+        self.pruned_report(params).map(|(world, _)| world)
+    }
+
+    /// [`World::pruned`] plus the per-pruner area instrumentation of
+    /// the core path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`World::pruned`].
+    pub fn pruned_report(
+        &self,
+        params: &PruneParams,
+    ) -> RunResult<(scenic_core::World, Vec<PrunerEffect>)> {
         let cells = if params.min_width.is_some() {
             self.map.blocks.clone()
         } else {
             self.map.drivable_cells()
         };
-        let polygons = prune_cells(&cells, params);
-        let mut region = Region::polygons_with_orientation(polygons, self.map.road_direction());
-        if params.min_radius > 0.0 {
-            region = region.eroded(params.min_radius);
-        }
-        scenic_core::prune::world_with_region(&self.core, "gtaLib", "road", region)
+        let pruned = prune_region(&cells, self.map.road_direction(), params);
+        let world =
+            scenic_core::prune::world_with_region(&self.core, "gtaLib", "road", pruned.region)?;
+        Ok((world, pruned.effects))
     }
 }
 
@@ -427,6 +445,70 @@ mod tests {
         let scenario = scenic_core::compile_with_world(scenarios::SIMPLEST, &pruned).unwrap();
         let scene = Sampler::new(&scenario).sample_seeded(8).unwrap();
         assert_eq!(scene.objects.len(), 2);
+    }
+
+    #[test]
+    fn pruned_report_instruments_the_shrink() {
+        let w = world();
+        let pi = std::f64::consts::PI;
+        let (pruned, effects) = w
+            .pruned_report(&PruneParams {
+                min_radius: 1.0,
+                relative_heading: Some((pi - 0.6, pi + 0.6)),
+                max_distance: 50.0,
+                heading_tolerance: 0.0,
+                min_width: None,
+            })
+            .unwrap();
+        // Orientation first, then the containment erosion.
+        assert_eq!(effects.len(), 2);
+        assert_eq!(effects[0].pruner, scenic_core::Pruner::Orientation);
+        assert_eq!(effects[1].pruner, scenic_core::Pruner::Containment);
+        for e in &effects {
+            assert!(e.area_after <= e.area_before + 1e-6, "{e:?}");
+        }
+        // The replaced world still samples.
+        let scenario = scenic_core::compile_with_world(scenarios::SIMPLEST, &pruned).unwrap();
+        assert!(Sampler::new(&scenario).sample_seeded(2).is_ok());
+    }
+
+    #[test]
+    fn guard_mode_counts_orientation_rejections_on_oncoming() {
+        // Mostly one-way city: many cells lack an opposing cell within
+        // M, so ego draws there are guard-rejected before the run pays
+        // for car2 and the visibility checks.
+        let w = World::generate(MapConfig {
+            arterial_every: 0,
+            one_way_fraction: 0.85,
+            ..MapConfig::default()
+        });
+        let scenario = scenic_core::compile_with_world(scenarios::ONCOMING, w.core()).unwrap();
+        let pi = std::f64::consts::PI;
+        let params = PruneParams {
+            min_radius: 0.0,
+            relative_heading: Some((pi - 0.6, pi + 0.6)),
+            max_distance: 50.0,
+            heading_tolerance: 0.0,
+            min_width: None,
+        };
+        let mut sampler = Sampler::new(&scenario)
+            .with_seed(7)
+            .with_config(scenic_core::SamplerConfig {
+                max_iterations: 100_000,
+            })
+            .with_prune_params(&params);
+        assert!(sampler.prune_plan().is_some(), "no guards built");
+        sampler.sample_batch(3, 2).unwrap();
+        let stats = sampler.stats();
+        assert!(
+            stats.prune_orientation_rejections > 0,
+            "orientation guard never fired: {stats:?}"
+        );
+        assert!(stats.full_iterations() < stats.iterations);
+        assert_eq!(
+            stats.full_iterations(),
+            stats.iterations - stats.prune_rejections()
+        );
     }
 
     #[test]

@@ -189,6 +189,36 @@ mod tests {
     }
 
     #[test]
+    fn auto_pruning_is_acceptance_invariant_on_bottleneck() {
+        // The derived §5.2 plan guards `ground` with containment
+        // erosion (every mars class has a constant dimension lower
+        // bound; Pipe's min(0.2, 1)/2 = 0.1 is the binding one).
+        // Guard-mode sampling must accept the exact same scenes.
+        let w = world();
+        let scenario = scenic_core::compile_with_world(BOTTLENECK, &w).unwrap();
+        let params = scenario.derived_prune_params();
+        assert!(
+            (params.min_radius - 0.1).abs() < 1e-9,
+            "derived min_radius {}",
+            params.min_radius
+        );
+        assert!(!scenario.prune_plan().is_empty());
+        use scenic_core::sampler::Sampler;
+        let mut plain = Sampler::new(&scenario).with_seed(0);
+        let mut pruned = Sampler::new(&scenario).with_seed(0).with_pruning();
+        let a = plain.sample_batch(2, 2).unwrap();
+        let b = pruned.sample_batch(2, 2).unwrap();
+        let a: Vec<String> = a.iter().map(scenic_core::Scene::to_json).collect();
+        let b: Vec<String> = b.iter().map(scenic_core::Scene::to_json).collect();
+        assert_eq!(a, b, "pruning changed the accepted scenes");
+        assert_eq!(plain.stats().iterations, pruned.stats().iterations);
+        assert_eq!(
+            plain.stats().scenes + plain.stats().rejections(),
+            pruned.stats().scenes + pruned.stats().rejections(),
+        );
+    }
+
+    #[test]
     fn pipes_flank_the_gap() {
         for scene in bottleneck_pool() {
             let rock = scene

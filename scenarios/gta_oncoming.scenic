@@ -1,0 +1,3 @@
+ego = Car
+car2 = Car offset by (-10, 10) @ (20, 40), with viewAngle 30 deg
+require car2 can see ego

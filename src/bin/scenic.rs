@@ -31,19 +31,24 @@
 //! `sample_batch` per call under the scoped-spawn strategy (fresh
 //! threads per call) and the persistent pool, at batch sizes 1/8/64.
 
-use scenic::core::sampler::{Sampler, SamplerStats};
-use scenic::core::{compile_with_world, ScenarioCache, World};
+use scenic::core::prune::PrunePlan;
+use scenic::core::sampler::{Sampler, SamplerConfig, SamplerStats};
+use scenic::core::{compile_with_world, PruneParams, ScenarioCache, World};
 use scenic::prelude::{Scene, Vec2};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 usage:
   scenic check  <file>... [--world gta|mars|bare]
   scenic print  <file>...
   scenic sample <file>... [--world gta|mars|bare] [-n N] [--seed S]
-                [--jobs J] [--repeat R]
+                [--jobs J] [--repeat R] [--prune[=off]]
                 [--format json|gta|wbt|summary] [--out DIR]
                 [--stats] [--ppm]
+  scenic prune-report <file>... [--world W] [-n N] [--seed S] [--jobs J]
+                [--min-radius R] [--heading LO,HI] [--heading-tolerance D]
+                [--max-distance M] [--min-width W]
   scenic bench-pool <file>... [--world gta|mars|bare] [--jobs J] [--seed S]
 
 options:
@@ -54,11 +59,24 @@ options:
                 identical for every J)
   --repeat R    sampling rounds per scenario (default: 1); each source
                 is compiled once and round r uses seed S + r
+  --prune[=off] run the §5.2 prune guards (default: on). Guards derive
+                automatically from the scenario and never change which
+                scenes are sampled — only how early doomed candidate
+                runs are abandoned; --prune=off disables them
   --format F    output format (default: summary)
   --out DIR     write one file per scene instead of stdout
-  --stats       print rejection-sampling and compile-cache statistics
-                to stderr
+  --stats       print rejection-sampling, pruning, and compile-cache
+                statistics to stderr
   --ppm         also write a top-down scene_NNNN.ppm (needs --out)
+
+`prune-report` regenerates the paper's Appendix D pruning comparison
+from one guarded batch per scenario: candidates whose draws land
+outside the pruned regions are counted (and abandoned early), so the
+unpruned and pruned iterations-per-scene columns come from a single
+run. Pruner parameters start from the derived ones and are overridden
+by --min-radius (m), --heading LO,HI (deg, relative-heading interval
+enabling orientation pruning), --heading-tolerance (deg),
+--max-distance (m), and --min-width (m, enabling size pruning).
 
 `bench-pool` compares scoped-spawn vs persistent-pool batch sampling
 per call at batch sizes 1/8/64 (its --jobs defaults to 8).
@@ -78,6 +96,15 @@ struct Options {
     out: Option<String>,
     stats: bool,
     ppm: bool,
+    /// §5.2 prune guards during `sample` (on by default; guards never
+    /// change the sampled scenes, only how early doomed runs die).
+    prune: bool,
+    /// `prune-report` parameter overrides (on top of the derived ones).
+    min_radius: Option<f64>,
+    heading: Option<(f64, f64)>,
+    heading_tolerance: Option<f64>,
+    max_distance: Option<f64>,
+    min_width: Option<f64>,
 }
 
 fn default_jobs() -> usize {
@@ -104,6 +131,12 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         out: None,
         stats: false,
         ppm: false,
+        prune: true,
+        min_radius: None,
+        heading: None,
+        heading_tolerance: None,
+        max_distance: None,
+        min_width: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -142,6 +175,49 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
             "--out" => options.out = Some(take("--out")?),
             "--stats" => options.stats = true,
             "--ppm" => options.ppm = true,
+            "--prune" | "--prune=on" => options.prune = true,
+            "--prune=off" => options.prune = false,
+            other if other.starts_with("--prune=") => {
+                return Err(format!(
+                    "unknown --prune value `{other}` (expected on or off)"
+                ));
+            }
+            "--min-radius" => {
+                options.min_radius = Some(
+                    take("--min-radius")?
+                        .parse()
+                        .map_err(|_| "--min-radius needs a number (meters)")?,
+                );
+            }
+            "--heading" => {
+                let raw = take("--heading")?;
+                let (lo, hi) = raw
+                    .split_once(',')
+                    .and_then(|(lo, hi)| Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?)))
+                    .ok_or("--heading needs LO,HI in degrees (e.g. 150,210)")?;
+                options.heading = Some((lo, hi));
+            }
+            "--heading-tolerance" => {
+                options.heading_tolerance = Some(
+                    take("--heading-tolerance")?
+                        .parse()
+                        .map_err(|_| "--heading-tolerance needs a number (degrees)")?,
+                );
+            }
+            "--max-distance" => {
+                options.max_distance = Some(
+                    take("--max-distance")?
+                        .parse()
+                        .map_err(|_| "--max-distance needs a number (meters)")?,
+                );
+            }
+            "--min-width" => {
+                options.min_width = Some(
+                    take("--min-width")?
+                        .parse()
+                        .map_err(|_| "--min-width needs a number (meters)")?,
+                );
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -299,6 +375,9 @@ fn sample_round(
 ) -> Result<(), String> {
     let seed = options.seed.wrapping_add(rep as u64);
     let mut sampler = Sampler::new(scenario).with_seed(seed);
+    if options.prune {
+        sampler = sampler.with_pruning();
+    }
     let scenes = sampler
         .sample_batch(options.n, jobs)
         .map_err(|e| format!("{file}: {e}"))?;
@@ -389,6 +468,131 @@ fn bench_pool(options: &Options, world: &LoadedWorld) -> Result<(), String> {
     Ok(())
 }
 
+/// One `module.name: pruner area -> area` table row per guard stage.
+fn guard_table(plan: &PrunePlan) -> Vec<String> {
+    let mut rows = Vec::new();
+    for guard in &plan.guards {
+        for effect in &guard.effects {
+            rows.push(format!(
+                "  {:<18} {:<12} {:>12.1} m² -> {:>12.1} m² ({:>5.1}% kept)",
+                format!("{}.{}", guard.module, guard.name),
+                effect.pruner.to_string(),
+                effect.area_before,
+                effect.area_after,
+                100.0 * effect.kept_fraction(),
+            ));
+        }
+    }
+    rows
+}
+
+/// The `--stats` pruning section: the per-pruner region table plus the
+/// guard rejection counters and the derived unpruned-vs-pruned
+/// iteration rates (both measured from the same guarded run).
+fn print_prune_stats(prune: bool, plans: &[(String, Arc<PrunePlan>)], total: &SamplerStats) {
+    if !prune {
+        eprintln!("pruning: off");
+        return;
+    }
+    let guards: usize = plans.iter().map(|(_, p)| p.guards.len()).sum();
+    if guards == 0 {
+        eprintln!("pruning: on (no applicable guards — sampling unchanged)");
+        return;
+    }
+    eprintln!("pruning: on ({guards} guard(s))");
+    for (file, plan) in plans {
+        if plan.is_empty() {
+            continue;
+        }
+        eprintln!("  {file}:");
+        for row in guard_table(plan) {
+            eprintln!("  {row}");
+        }
+    }
+    eprintln!(
+        "  prune-guard rejections: {} containment, {} orientation, {} size",
+        total.prune_containment_rejections,
+        total.prune_orientation_rejections,
+        total.prune_size_rejections,
+    );
+    eprintln!(
+        "  iterations/scene: {:.1} unpruned-equivalent, {:.1} after pruning",
+        total.iterations_per_scene(),
+        total.full_iterations_per_scene(),
+    );
+}
+
+/// `prune-report`: the Appendix D comparison from one guarded batch per
+/// scenario. The guard draws the exact unpruned candidate stream, so
+/// `iterations` is the unpruned column and `full_iterations` (the
+/// candidates that survived the pruned regions and were interpreted to
+/// completion) is the pruned column — one run, both numbers.
+fn prune_report(options: &Options, world: &LoadedWorld) -> Result<(), String> {
+    let jobs = options.jobs.unwrap_or_else(default_jobs);
+    let cache = ScenarioCache::new();
+    println!("Appendix D pruning comparison (guard mode: one batch yields both columns)");
+    for file in &options.files {
+        let source = read_source(file)?;
+        let scenario = cache
+            .get_or_compile(&options.world, &source, &world.core)
+            .map_err(|e| format!("{file}: {e}"))?;
+        // Derived parameters, overridden by the command-line knobs.
+        let mut params: PruneParams = scenario.derived_prune_params();
+        if let Some(r) = options.min_radius {
+            params.min_radius = r;
+        }
+        if let Some((lo, hi)) = options.heading {
+            params.relative_heading = Some((lo.to_radians(), hi.to_radians()));
+        }
+        if let Some(d) = options.heading_tolerance {
+            params.heading_tolerance = d.to_radians();
+        }
+        if let Some(m) = options.max_distance {
+            params.max_distance = m;
+        }
+        if let Some(w) = options.min_width {
+            params.min_width = Some(w);
+        }
+        let plan = scenario.prune_plan_with(&params);
+        println!(
+            "{file}: world {}, n={}, seed={}, jobs={jobs}",
+            options.world, options.n, options.seed
+        );
+        if plan.is_empty() {
+            println!("  no applicable pruned regions: both columns are equal");
+        } else {
+            for row in guard_table(&plan) {
+                println!("{row}");
+            }
+        }
+        let mut sampler = Sampler::new(&scenario)
+            .with_seed(options.seed)
+            .with_config(SamplerConfig {
+                max_iterations: 100_000,
+            })
+            .with_prune_params(&params);
+        let start = std::time::Instant::now();
+        sampler
+            .sample_batch(options.n, jobs)
+            .map_err(|e| format!("{file}: {e}"))?;
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let stats = sampler.stats();
+        let unpruned = stats.iterations_per_scene();
+        let pruned = stats.full_iterations_per_scene();
+        println!(
+            "  iters/scene: {:.1} unpruned, {:.1} pruned ({:.2}x fewer); \
+             {} of {} candidates guard-pruned; {:.1} ms/scene wall-clock",
+            unpruned,
+            pruned,
+            unpruned / pruned,
+            stats.prune_rejections(),
+            stats.iterations,
+            elapsed_ms / options.n.max(1) as f64,
+        );
+    }
+    Ok(())
+}
+
 fn run(options: &Options) -> Result<(), String> {
     match options.command.as_str() {
         "print" => {
@@ -418,9 +622,11 @@ fn run(options: &Options) -> Result<(), String> {
                 std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
             }
             // One cache for the whole invocation: a scenario listed
-            // twice, or sampled for --repeat rounds, compiles once.
+            // twice, or sampled for --repeat rounds, compiles once (and
+            // prunes once: the plan is cached on the compiled scenario).
             let cache = ScenarioCache::new();
             let mut total = SamplerStats::default();
+            let mut plans: Vec<(String, Arc<PrunePlan>)> = Vec::new();
             let stems = unique_stems(&options.files);
             for (file, stem) in options.files.iter().zip(&stems) {
                 let source = read_source(file)?;
@@ -428,6 +634,9 @@ fn run(options: &Options) -> Result<(), String> {
                     let scenario = cache
                         .get_or_compile(&options.world, &source, &world.core)
                         .map_err(|e| format!("{file}: {e}"))?;
+                    if rep == 0 && options.prune && options.stats {
+                        plans.push((file.clone(), scenario.prune_plan()));
+                    }
                     sample_round(
                         options, &world, &scenario, file, stem, rep, jobs, &mut total,
                     )?;
@@ -445,6 +654,7 @@ fn run(options: &Options) -> Result<(), String> {
                     total.containment_rejections,
                     total.visibility_rejections,
                 );
+                print_prune_stats(options.prune, &plans, &total);
                 eprintln!(
                     "compiled {} scenario(s), {} cache hit(s)",
                     cache.misses(),
@@ -452,6 +662,10 @@ fn run(options: &Options) -> Result<(), String> {
                 );
             }
             Ok(())
+        }
+        "prune-report" => {
+            let world = build_world(&options.world);
+            prune_report(options, &world)
         }
         "bench-pool" => {
             let world = build_world(&options.world);

@@ -429,6 +429,172 @@ fn check_accepts_multiple_files() {
 }
 
 #[test]
+fn prune_off_output_is_byte_identical_to_default() {
+    // Guard-mode pruning (the default) must never change what gets
+    // sampled — only how early doomed candidate runs are abandoned.
+    let path = bundled("mars_bottleneck.scenic");
+    let base = [
+        "sample",
+        path.to_str().unwrap(),
+        "--world",
+        "mars",
+        "--seed",
+        "4",
+        "-n",
+        "2",
+        "--jobs",
+        "2",
+    ];
+    let on = run(&base);
+    let mut with_off = base.to_vec();
+    with_off.push("--prune=off");
+    let off = run(&with_off);
+    assert!(on.status.success(), "{}", stderr(&on));
+    assert!(off.status.success(), "{}", stderr(&off));
+    assert_eq!(stdout(&on), stdout(&off));
+}
+
+#[test]
+fn prune_stats_table_lists_guards_and_counters() {
+    let path = bundled("mars_bottleneck.scenic");
+    let out = run(&[
+        "sample",
+        path.to_str().unwrap(),
+        "--world",
+        "mars",
+        "--seed",
+        "4",
+        "--prune",
+        "--stats",
+        "--jobs",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("pruning: on (1 guard(s))"), "{err}");
+    assert!(err.contains("mars.ground"), "{err}");
+    assert!(err.contains("containment"), "{err}");
+    assert!(err.contains("prune-guard rejections:"), "{err}");
+    assert!(err.contains("unpruned-equivalent"), "{err}");
+}
+
+#[test]
+fn prune_off_and_unguarded_worlds_report_so_in_stats() {
+    let path = bundled("mars_bottleneck.scenic");
+    let out = run(&[
+        "sample",
+        path.to_str().unwrap(),
+        "--world",
+        "mars",
+        "--prune=off",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("pruning: off"), "{}", stderr(&out));
+    // The bare world has no prunable native regions: pruning stays on
+    // but reports that it has nothing to do.
+    let bare = write_scenario("noprune.scenic", "ego = Object at 0 @ 0\n");
+    let out = run(&[
+        "sample",
+        bare.to_str().unwrap(),
+        "--world",
+        "bare",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("no applicable guards"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn bogus_prune_value_is_rejected() {
+    let path = write_scenario("prune_bogus.scenic", "ego = Car\n");
+    let out = run(&["sample", path.to_str().unwrap(), "--prune=sometimes"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--prune"), "{}", stderr(&out));
+}
+
+/// The stable part of a prune-report output: everything except the
+/// wall-clock field (the only non-deterministic column).
+fn strip_wall_clock(report: &str) -> String {
+    report
+        .lines()
+        .map(|line| match line.find(" ms/scene") {
+            Some(_) => {
+                let cut = line.rfind(';').unwrap_or(line.len());
+                &line[..cut]
+            }
+            None => line,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn prune_report_regenerates_appendix_d_from_one_run() {
+    let path = bundled("gta_oncoming.scenic");
+    let args = [
+        "prune-report",
+        path.to_str().unwrap(),
+        "--heading",
+        "150,210",
+        "--max-distance",
+        "50",
+        "-n",
+        "5",
+        "--seed",
+        "7",
+        "--jobs",
+        "2",
+    ];
+    let out = run(&args);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // Table shape: the per-region area rows and the two iteration
+    // columns derived from the one guarded batch.
+    assert!(text.contains("gtaLib.road"), "{text}");
+    assert!(text.contains("orientation"), "{text}");
+    assert!(text.contains("% kept"), "{text}");
+    assert!(text.contains("iters/scene:"), "{text}");
+    assert!(text.contains("unpruned"), "{text}");
+    assert!(text.contains("guard-pruned"), "{text}");
+    // The §5.2 promise on this bottleneck scenario: strictly fewer full
+    // interpreter runs per scene with pruning on.
+    let line = text
+        .lines()
+        .find(|l| l.contains("iters/scene:"))
+        .expect("no iters/scene line");
+    let mut nums = line
+        .split(&[' ', ','][..])
+        .filter_map(|w| w.parse::<f64>().ok());
+    let unpruned = nums.next().expect("unpruned column");
+    let pruned = nums.next().expect("pruned column");
+    assert!(
+        pruned < unpruned,
+        "pruning did not reduce iterations/scene: {line}"
+    );
+    // Deterministic: a second run differs only in wall-clock.
+    let again = run(&args);
+    assert!(again.status.success());
+    assert_eq!(strip_wall_clock(&text), strip_wall_clock(&stdout(&again)));
+}
+
+#[test]
+fn prune_report_without_applicable_regions_says_so() {
+    let path = write_scenario("prune_bare.scenic", "ego = Object at 0 @ 0\n");
+    let out = run(&["prune-report", path.to_str().unwrap(), "--world", "bare"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("no applicable pruned regions"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
 fn bench_pool_reports_both_strategies() {
     let path = write_scenario("bench.scenic", "ego = Object at 0 @ 0\n");
     let out = run(&[

@@ -106,6 +106,7 @@ const BUNDLED_BATCH_DIGESTS: &[(&str, &str, u64)] = &[
     ("two_cars.scenic", "gta", 12432342917023476994),
     ("badly_parked.scenic", "gta", 13142882594589914072),
     ("gta_intersection.scenic", "gta", 15307603797103711724),
+    ("gta_oncoming.scenic", "gta", 16107416849542298254),
     ("mars_bottleneck.scenic", "mars", 432406145982909675),
     ("mars_formation.scenic", "mars", 1255604280676792309),
 ];
@@ -134,6 +135,37 @@ fn batch_digests_are_pinned_and_thread_count_invariant() {
             "{name}: batch digest drifted: the pinned RNG stream, the \
              seed derivation, or the sampling order changed (breaking \
              for sample_batch)"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// §5.2 pruning is acceptance-invariant: guard-mode pruning draws the
+// exact unpruned candidate stream and only abandons candidates that
+// could never be accepted, so for every bundled scenario the accepted
+// scenes — and therefore the pinned digests above — are byte-identical
+// with pruning on or off. If this test fails, a prune guard rejected a
+// viable candidate (the derivation in `prune::derive_params` produced
+// unsound parameters) and pruning changed *which* scenes are sampled,
+// not just how fast.
+// ---------------------------------------------------------------------
+
+#[test]
+fn pruning_on_equals_pruning_off_for_every_bundled_scenario() {
+    for (name, world, _) in BUNDLED_BATCH_DIGESTS {
+        let scenario = compile_bundled(name, world);
+        let plain = Sampler::new(&scenario)
+            .with_seed(7)
+            .sample_batch(3, 2)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut pruned_sampler = Sampler::new(&scenario).with_seed(7).with_pruning();
+        let pruned = pruned_sampler
+            .sample_batch(3, 2)
+            .unwrap_or_else(|e| panic!("{name} (pruned): {e}"));
+        assert_eq!(
+            batch_digest(&plain),
+            batch_digest(&pruned),
+            "{name}: pruning changed the accepted scenes"
         );
     }
 }
