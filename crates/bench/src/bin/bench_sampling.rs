@@ -1,0 +1,149 @@
+//! End-to-end sampling throughput over the bundled scenarios.
+//!
+//! Compiles each of the repo's `scenarios/*.scenic` files against its
+//! world and times one deterministic `sample_batch` call, reporting
+//! scenes/second and iterations/scene. `--json PATH` additionally
+//! writes the numbers as a stable machine-readable artifact (the
+//! committed `BENCH_sampling.json` at the repo root tracks throughput
+//! across PRs).
+//!
+//! ```text
+//! bench_sampling [-n N] [--seed S] [--jobs J] [--json PATH]
+//! ```
+
+use scenic_core::sampler::{Sampler, SamplerConfig};
+use scenic_core::{compile_with_world, World};
+use std::path::PathBuf;
+
+struct Args {
+    n: usize,
+    seed: u64,
+    jobs: usize,
+    json: Option<String>,
+}
+
+struct Run {
+    scenario: &'static str,
+    world: &'static str,
+    scenes: usize,
+    elapsed_ms: f64,
+    scenes_per_sec: f64,
+    iterations_per_scene: f64,
+}
+
+const SCENARIOS: &[(&str, &str)] = &[
+    ("badly_parked", "gta"),
+    ("gta_intersection", "gta"),
+    ("gta_oncoming", "gta"),
+    ("mars_bottleneck", "mars"),
+    ("mars_formation", "mars"),
+    ("simplest", "gta"),
+    ("two_cars", "gta"),
+];
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 50,
+        seed: 0,
+        jobs: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "-n" => args.n = value("-n").parse().expect("-n: positive integer"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            "--jobs" => args.jobs = value("--jobs").parse().expect("--jobs: positive integer"),
+            "--json" => args.json = Some(value("--json")),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    args
+}
+
+fn scenario_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(format!("{name}.scenic"))
+}
+
+fn world_for(name: &str) -> World {
+    match name {
+        "gta" => scenic_bench::standard_world().core().clone(),
+        _ => scenic_mars::world(),
+    }
+}
+
+fn to_json(runs: &[Run], args: &Args) -> String {
+    let mut out = String::from("{\n  \"schema\": \"scenic-bench-sampling/v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"n\": {}, \"seed\": {}, \"jobs\": {}}},\n  \"runs\": [",
+        args.n, args.seed, args.jobs
+    ));
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"scenario\": \"{}\", \"world\": \"{}\", \"scenes\": {}, \
+             \"elapsed_ms\": {:.1}, \"scenes_per_sec\": {:.1}, \
+             \"iterations_per_scene\": {:.2}}}",
+            r.scenario, r.world, r.scenes, r.elapsed_ms, r.scenes_per_sec, r.iterations_per_scene
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let mut runs = Vec::new();
+    println!(
+        "sampling throughput: n={}, seed={}, jobs={}",
+        args.n, args.seed, args.jobs
+    );
+    for &(name, world_name) in SCENARIOS {
+        let source =
+            std::fs::read_to_string(scenario_path(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let world = world_for(world_name);
+        let scenario = compile_with_world(&source, &world)
+            .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+        let mut sampler = Sampler::new(&scenario)
+            .with_seed(args.seed)
+            .with_config(SamplerConfig {
+                max_iterations: 100_000,
+            })
+            .with_pruning();
+        // Warm-up: pay compilation-adjacent one-time costs (prune plan,
+        // worker-pool spawn) outside the timed region.
+        sampler
+            .sample_batch(1, args.jobs)
+            .unwrap_or_else(|e| panic!("{name}: warm-up failed: {e}"));
+        let start = std::time::Instant::now();
+        sampler
+            .sample_batch(args.n, args.jobs)
+            .unwrap_or_else(|e| panic!("{name}: sampling failed: {e}"));
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = sampler.stats();
+        let run = Run {
+            scenario: name,
+            world: world_name,
+            scenes: args.n,
+            elapsed_ms: elapsed * 1000.0,
+            scenes_per_sec: args.n as f64 / elapsed,
+            iterations_per_scene: stats.iterations as f64 / stats.scenes.max(1) as f64,
+        };
+        println!(
+            "  {:<18} ({}):  {:>8.1} scenes/s, {:>6.2} iters/scene, {:>8.1} ms total",
+            run.scenario, run.world, run.scenes_per_sec, run.iterations_per_scene, run.elapsed_ms
+        );
+        runs.push(run);
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, to_json(&runs, &args)).unwrap_or_else(|e| panic!("{path}: {e}"));
+        println!("wrote {path}");
+    }
+}

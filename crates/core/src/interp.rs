@@ -154,13 +154,27 @@ impl Scenario {
     /// scenario's parsed sources (user program, prelude, and module
     /// libraries) — see [`prune::derive_params`] for the rules.
     pub fn derived_prune_params(&self) -> PruneParams {
+        prune::derive_params(&self.all_programs())
+    }
+
+    /// The per-pruner enable/disable decisions behind
+    /// [`Scenario::derived_prune_params`], with their reasons — the
+    /// source of the `I2xx` diagnostics shown by `scenic lint` and
+    /// `scenic sample --stats`.
+    pub fn derived_prune_decisions(&self) -> Vec<prune::PruneDecision> {
+        prune::derive_params_explained(&self.all_programs()).1
+    }
+
+    /// Every parsed source of this scenario, prelude first, then the
+    /// user program, then the module libraries in name order.
+    pub(crate) fn all_programs(&self) -> Vec<&Program> {
         let mut programs: Vec<&Program> = vec![&self.prelude, &self.program];
         let mut names: Vec<&String> = self.module_programs.keys().collect();
         names.sort();
         for name in names {
             programs.push(&self.module_programs[name]);
         }
-        prune::derive_params(&programs)
+        programs
     }
 
     /// The derived-parameter prune plan, built once per compiled
@@ -315,7 +329,7 @@ impl<'s, 'r> Interpreter<'s, 'r> {
     }
 
     fn exec_stmt(&mut self, stmt: &Stmt, env: &EnvRef) -> RunResult<Flow> {
-        let line = stmt.line;
+        let line = stmt.line();
         match &stmt.kind {
             StmtKind::Import(name) => {
                 self.import_module(name, line)?;

@@ -36,9 +36,11 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod builtins;
 pub mod cache;
 pub mod class;
+pub mod diag;
 pub mod env;
 pub mod error;
 pub mod interp;
@@ -51,7 +53,9 @@ pub mod specifier;
 pub mod value;
 pub mod world;
 
+pub use analysis::analyze;
 pub use cache::{source_hash, ScenarioCache};
+pub use diag::{Code, Diagnostic, Severity};
 pub use error::{Pruner, Rejection, RunResult, ScenicError};
 pub use interp::{compile, compile_with_world, Interpreter, Scenario};
 pub use pool::WorkerPool;

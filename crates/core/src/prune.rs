@@ -1042,28 +1042,95 @@ fn class_entry(cd: &ClassDef) -> (Option<String>, Dim, Dim) {
 /// it accepts exactly the scenes unpruned sampling accepts, byte for
 /// byte (pinned by `tests/determinism.rs`).
 pub fn derive_params(programs: &[&Program]) -> PruneParams {
+    derive_params_explained(programs).0
+}
+
+/// Why [`derive_params_explained`] enabled or disabled one pruner.
+///
+/// Surfaced to users as `I201 pruner-disabled` / `I202 pruner-enabled`
+/// diagnostics (see [`crate::diag`]), so Appendix D runs are
+/// self-explaining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneDecision {
+    /// The pruner the decision is about.
+    pub pruner: Pruner,
+    /// Whether the derivation turned it on.
+    pub enabled: bool,
+    /// Human-readable justification (the soundness blocker for a
+    /// disabled pruner, the derived bound for an enabled one).
+    pub reason: String,
+}
+
+/// [`derive_params`] plus a per-pruner record of why each §5.2 pruner
+/// was enabled or disabled, in `Containment`, `Orientation`, `Size`
+/// order.
+pub fn derive_params_explained(programs: &[&Program]) -> (PruneParams, Vec<PruneDecision>) {
     let classes = ClassTable::build(programs);
     let mut hints = PruneHints::default();
     for program in programs {
         scan_stmts(&program.statements, &mut hints, &classes);
     }
+    let mut decisions = Vec::new();
     let mut min_radius = 0.0;
-    if !hints.has_mutation && !hints.helper_on_region && !hints.unknown_dim_override {
-        if let Some(bound) = classes.min_physical_half_extent() {
-            min_radius = match hints.min_dim_override {
-                Some(v) if v > 0.0 => bound.min(v / 2.0),
-                Some(_) => 0.0,
-                Option::None => bound,
-            };
+    let containment_reason = if hints.has_mutation {
+        "a `mutate` statement moves objects after their positions are drawn, \
+         so no erosion margin is sound"
+            .to_string()
+    } else if hints.helper_on_region {
+        "a helper point is drawn `on` a region outside a class `position:` default; \
+         its draw is not a physical object's final position, so erosion would be unsound"
+            .to_string()
+    } else if hints.unknown_dim_override {
+        "a non-constant `with width`/`with height` override defeats the \
+         minimum-object-radius bound"
+            .to_string()
+    } else {
+        match classes.min_physical_half_extent() {
+            Some(bound) => {
+                min_radius = match hints.min_dim_override {
+                    Some(v) if v > 0.0 => bound.min(v / 2.0),
+                    Some(_) => 0.0,
+                    Option::None => bound,
+                };
+                if min_radius > 0.0 {
+                    format!(
+                        "every physical object keeps at least {min_radius} m of clearance \
+                         (smallest class half-extent, lowered by constant dimension overrides)"
+                    )
+                } else {
+                    "a dimension override of 0 leaves no sound erosion margin".to_string()
+                }
+            }
+            Option::None => "no physical class with statically known dimensions".to_string(),
         }
-    }
-    PruneParams {
+    };
+    decisions.push(PruneDecision {
+        pruner: Pruner::Containment,
+        enabled: min_radius > 0.0,
+        reason: containment_reason,
+    });
+    decisions.push(PruneDecision {
+        pruner: Pruner::Orientation,
+        enabled: false,
+        reason: "no syntactic analysis soundly bounds relative headings; \
+                 pass `--heading LO,HI` to prune-report to enable it"
+            .to_string(),
+    });
+    decisions.push(PruneDecision {
+        pruner: Pruner::Size,
+        enabled: false,
+        reason: "no syntactic analysis soundly bounds the configuration's minimum width; \
+                 pass `--min-width W` to prune-report to enable it"
+            .to_string(),
+    });
+    let params = PruneParams {
         min_radius,
         relative_heading: None,
         max_distance: hints.visible_distance.unwrap_or(50.0),
         heading_tolerance: hints.heading_wiggle.unwrap_or(0.0),
         min_width: None,
-    }
+    };
+    (params, decisions)
 }
 
 /// Bound of an interval-like expression `(a, b)` / `(a, b) deg` /

@@ -3,6 +3,7 @@
 //! Mirrors the grammar of Fig. 5 in the paper: statements (Table 5),
 //! expressions/operators (Fig. 7), and specifiers (Tables 3 & 4).
 
+use crate::token::Span;
 use std::fmt;
 
 /// A parsed Scenic scenario: a sequence of imports followed by
@@ -13,13 +14,30 @@ pub struct Program {
     pub statements: Vec<Stmt>,
 }
 
-/// A statement, tagged with its 1-based source line.
-#[derive(Debug, Clone, PartialEq)]
+/// A statement, tagged with the source range it covers.
+#[derive(Debug, Clone)]
 pub struct Stmt {
     /// What the statement does.
     pub kind: StmtKind,
-    /// Source line where the statement starts.
-    pub line: u32,
+    /// Source range of the statement (for a block statement, the whole
+    /// block including its body).
+    pub span: Span,
+}
+
+/// Structural equality: two statements are equal when they do the same
+/// thing, wherever they sit in the source (so a pretty-print/re-parse
+/// round trip compares equal even though the layout moved).
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Stmt {
+    /// The 1-based source line where the statement starts.
+    pub fn line(&self) -> u32 {
+        self.span.start.line
+    }
 }
 
 /// Statement kinds (Table 5, plus the Python-inherited control flow the

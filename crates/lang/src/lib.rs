@@ -29,4 +29,4 @@ pub use error::{ParseError, ParseResult};
 pub use lexer::lex;
 pub use parser::parse;
 pub use printer::{print_expr, print_program, print_specifier};
-pub use token::{Pos, Token, TokenKind};
+pub use token::{Pos, Span, Token, TokenKind};

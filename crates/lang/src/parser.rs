@@ -25,7 +25,7 @@
 use crate::ast::*;
 use crate::error::{ParseError, ParseResult};
 use crate::lexer::lex;
-use crate::token::{Pos, Token, TokenKind};
+use crate::token::{Pos, Span, Token, TokenKind};
 
 /// Parsed call arguments: positional then keyword.
 type CallArgs = (Vec<Expr>, Vec<(String, Expr)>);
@@ -51,6 +51,9 @@ pub fn parse(source: &str) -> ParseResult<Program> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// One past the end of the last non-layout token consumed; statement
+    /// spans close here (so trailing newlines/dedents are not covered).
+    last_end: Pos,
 }
 
 /// Identifiers that can begin a specifier (plus the reserved `in`).
@@ -73,7 +76,11 @@ const SPECIFIER_STARTS: &[&str] = &[
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            last_end: Pos { line: 1, col: 1 },
+        }
     }
 
     fn peek(&self) -> &TokenKind {
@@ -89,9 +96,15 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
-            .kind
-            .clone();
+        let tok = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        let t = tok.kind.clone();
+        let width = tok.kind.source_len();
+        if width > 0 {
+            self.last_end = Pos {
+                line: tok.pos.line,
+                col: tok.pos.col + width,
+            };
+        }
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -186,7 +199,7 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> ParseResult<Stmt> {
-        let line = self.here().line;
+        let start = self.here();
         let kind = match self.peek().clone() {
             TokenKind::Import => self.parse_import()?,
             TokenKind::Param => self.parse_param()?,
@@ -226,7 +239,10 @@ impl Parser {
                 StmtKind::Expr(expr)
             }
         };
-        Ok(Stmt { kind, line })
+        Ok(Stmt {
+            kind,
+            span: Span::new(start, self.last_end),
+        })
     }
 
     fn parse_import(&mut self) -> ParseResult<StmtKind> {

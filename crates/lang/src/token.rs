@@ -24,6 +24,52 @@ impl fmt::Display for Pos {
     }
 }
 
+/// A half-open source range `[start, end)` in line/column coordinates.
+///
+/// `end` points one past the last character, so a single-token span on
+/// one line has `end.col - start.col` equal to the token's width. Spans
+/// let the static analyzer and the diagnostics renderer underline the
+/// offending source text instead of merely naming a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First position covered.
+    pub start: Pos,
+    /// One past the last position covered.
+    pub end: Pos,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: Pos, end: Pos) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos` (used when only a point is known).
+    pub fn point(pos: Pos) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// A span covering `len` columns starting at `pos` (single line).
+    pub fn at(pos: Pos, len: u32) -> Self {
+        Span {
+            start: pos,
+            end: Pos {
+                line: pos.line,
+                col: pos.col + len,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
 /// A lexical token paired with its source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
@@ -177,6 +223,33 @@ impl TokenKind {
     /// Whether this token is the identifier `word`.
     pub fn is_ident(&self, word: &str) -> bool {
         matches!(self, TokenKind::Ident(s) if s == word)
+    }
+
+    /// Approximate width of the token in source columns (exact for
+    /// names, keywords, and punctuation; best-effort for number
+    /// literals, whose original spelling is not retained). Layout
+    /// tokens have zero width.
+    pub fn source_len(&self) -> u32 {
+        use TokenKind::*;
+        let len = match self {
+            Number(n) => format!("{n}").len(),
+            Str(s) => s.chars().count() + 2,
+            Ident(s) => s.chars().count(),
+            Import => 6,
+            Class | Param => 5,
+            Return | Mutate => 6,
+            Def | For => 3,
+            If | In | Is | Or => 2,
+            Elif | Else | True | Pass => 4,
+            While | NoneKw => 5,
+            Not | And => 3,
+            False => 5,
+            Require => 7,
+            Eq | Ne | Le | Ge => 2,
+            Newline | Indent | Dedent | Eof => 0,
+            _ => 1,
+        };
+        len as u32
     }
 }
 

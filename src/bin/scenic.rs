@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! scenic check  <file>... [--world gta|mars|bare]
+//! scenic lint   <file>... [--world W] [--deny warnings] [--format text|json]
 //! scenic print  <file>...
 //! scenic sample <file>... [--world W] [-n N] [--seed S] [--jobs J]
 //!               [--repeat R] [--format json|gta|wbt|summary]
@@ -13,8 +14,12 @@
 //! scenic bench-pool <file>... [--world W] [--jobs J] [--seed S]
 //! ```
 //!
-//! `check` parses and compiles (reporting the first error with its
-//! position), `print` re-emits the canonical pretty-printed source, and
+//! `check` parses, compiles, and runs the static analyzer (reporting
+//! every diagnostic with rustc-style carets; analysis errors fail the
+//! check), `lint` runs the same pass with lint-style exit codes (2 on
+//! errors, 1 when `--deny warnings` and any warning fired, 0 otherwise)
+//! and machine-readable `--format json`,
+//! `print` re-emits the canonical pretty-printed source, and
 //! `sample` draws `N` scenes by deterministic parallel rejection
 //! sampling (`--jobs` workers on the persistent process pool; every
 //! scene's RNG stream derives from `--seed` and the scene index, so the
@@ -31,16 +36,45 @@
 //! `sample_batch` per call under the scoped-spawn strategy (fresh
 //! threads per call) and the persistent pool, at batch sizes 1/8/64.
 
-use scenic::core::prune::PrunePlan;
+use scenic::core::diag::{render_json, render_line, render_text, Diagnostic, Severity};
+use scenic::core::prune::{PruneDecision, PrunePlan};
 use scenic::core::sampler::{Sampler, SamplerConfig, SamplerStats};
-use scenic::core::{compile_with_world, PruneParams, ScenarioCache, World};
+use scenic::core::{analyze, compile_with_world, PruneParams, ScenarioCache, ScenicError, World};
 use scenic::prelude::{Scene, Vec2};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+/// A run-time failure: scenic-language errors carry the file and source
+/// so `main` can render them through the diagnostics renderer; anything
+/// else (IO, bad values) stays a plain message.
+enum CliError {
+    Scenic {
+        file: String,
+        source: String,
+        err: ScenicError,
+    },
+    Other(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Other(message)
+    }
+}
+
+fn scenic_err(file: &str, source: &str, err: ScenicError) -> CliError {
+    CliError::Scenic {
+        file: file.to_string(),
+        source: source.to_string(),
+        err,
+    }
+}
+
 const USAGE: &str = "\
 usage:
   scenic check  <file>... [--world gta|mars|bare]
+  scenic lint   <file>... [--world gta|mars|bare] [--deny warnings]
+                [--format text|json]
   scenic print  <file>...
   scenic sample <file>... [--world gta|mars|bare] [-n N] [--seed S]
                 [--jobs J] [--repeat R] [--prune[=off]]
@@ -53,6 +87,8 @@ usage:
 
 options:
   --world W     world/library to compile against (default: gta)
+  --deny warnings
+                (lint) exit 1 when any warning fires
   -n N          number of scenes to sample (default: 1)
   --seed S      RNG seed (default: 0)
   --jobs J      sampling worker threads (default: all cores; output is
@@ -63,7 +99,8 @@ options:
                 automatically from the scenario and never change which
                 scenes are sampled — only how early doomed candidate
                 runs are abandoned; --prune=off disables them
-  --format F    output format (default: summary)
+  --format F    output format: sample takes json|gta|wbt|summary (default
+                summary); lint takes text|json (default text)
   --out DIR     write one file per scene instead of stdout
   --stats       print rejection-sampling, pruning, and compile-cache
                 statistics to stderr
@@ -96,6 +133,8 @@ struct Options {
     out: Option<String>,
     stats: bool,
     ppm: bool,
+    /// `lint --deny warnings`: warnings fail the exit status.
+    deny_warnings: bool,
     /// §5.2 prune guards during `sample` (on by default; guards never
     /// change the sampled scenes, only how early doomed runs die).
     prune: bool,
@@ -131,6 +170,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         out: None,
         stats: false,
         ppm: false,
+        deny_warnings: false,
         prune: true,
         min_radius: None,
         heading: None,
@@ -139,6 +179,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         min_width: None,
     };
     let mut args = args.peekable();
+    let mut format_given = false;
     while let Some(arg) = args.next() {
         let mut take = |name: &str| -> Result<String, String> {
             args.next().ok_or_else(|| format!("{name} needs a value"))
@@ -171,7 +212,17 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                     .filter(|r| *r > 0)
                     .ok_or("--repeat needs a positive integer")?;
             }
-            "--format" => options.format = take("--format")?,
+            "--format" => {
+                options.format = take("--format")?;
+                format_given = true;
+            }
+            "--deny" => {
+                let what = take("--deny")?;
+                if what != "warnings" {
+                    return Err(format!("unknown --deny value `{what}` (expected warnings)"));
+                }
+                options.deny_warnings = true;
+            }
             "--out" => options.out = Some(take("--out")?),
             "--stats" => options.stats = true,
             "--ppm" => options.ppm = true,
@@ -236,7 +287,17 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
     if options.ppm && options.out.is_none() {
         return Err("--ppm needs --out DIR".into());
     }
-    if !matches!(options.format.as_str(), "json" | "gta" | "wbt" | "summary") {
+    if options.command == "lint" {
+        if !format_given {
+            options.format = "text".into();
+        }
+        if !matches!(options.format.as_str(), "text" | "json") {
+            return Err(format!(
+                "unknown lint format `{}` (expected text or json)",
+                options.format
+            ));
+        }
+    } else if !matches!(options.format.as_str(), "json" | "gta" | "wbt" | "summary") {
         return Err(format!(
             "unknown format `{}` (expected json, gta, wbt, or summary)",
             options.format
@@ -368,11 +429,12 @@ fn sample_round(
     world: &LoadedWorld,
     scenario: &scenic::core::Scenario,
     file: &str,
+    source: &str,
     stem: &str,
     rep: usize,
     jobs: usize,
     total: &mut SamplerStats,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let seed = options.seed.wrapping_add(rep as u64);
     let mut sampler = Sampler::new(scenario).with_seed(seed);
     if options.prune {
@@ -380,7 +442,7 @@ fn sample_round(
     }
     let scenes = sampler
         .sample_batch(options.n, jobs)
-        .map_err(|e| format!("{file}: {e}"))?;
+        .map_err(|e| scenic_err(file, source, e))?;
     // Per-scene output names must stay unique across scenarios and
     // rounds sharing one --out directory.
     let multi_file = options.files.len() > 1;
@@ -437,11 +499,12 @@ fn time_per_call(mut f: impl FnMut()) -> f64 {
 }
 
 /// `bench-pool`: per-call scoped-spawn vs persistent-pool comparison.
-fn bench_pool(options: &Options, world: &LoadedWorld) -> Result<(), String> {
+fn bench_pool(options: &Options, world: &LoadedWorld) -> Result<(), CliError> {
     let jobs = options.jobs.unwrap_or(8);
     for file in &options.files {
         let source = read_source(file)?;
-        let scenario = compile_with_world(&source, &world.core).map_err(|e| e.to_string())?;
+        let scenario =
+            compile_with_world(&source, &world.core).map_err(|e| scenic_err(file, &source, e))?;
         println!(
             "{file}: scoped-spawn vs persistent pool, jobs={jobs}, seed={}",
             options.seed
@@ -522,12 +585,37 @@ fn print_prune_stats(prune: bool, plans: &[(String, Arc<PrunePlan>)], total: &Sa
     );
 }
 
+/// The `--stats` derivation section: why each §5.2 pruner is on or off
+/// for each scenario, as `I2xx` diagnostic lines (the same decisions
+/// `scenic lint` reports).
+fn print_prune_decisions(decisions: &[(String, Vec<PruneDecision>)]) {
+    for (file, decs) in decisions {
+        for dec in decs {
+            let code = if dec.enabled {
+                scenic::core::Code::PrunerEnabled
+            } else {
+                scenic::core::Code::PrunerDisabled
+            };
+            let d = Diagnostic::global(
+                code,
+                format!(
+                    "{file}: {} pruning {}: {}",
+                    dec.pruner,
+                    if dec.enabled { "enabled" } else { "disabled" },
+                    dec.reason
+                ),
+            );
+            eprintln!("  {}", render_line(&d));
+        }
+    }
+}
+
 /// `prune-report`: the Appendix D comparison from one guarded batch per
 /// scenario. The guard draws the exact unpruned candidate stream, so
 /// `iterations` is the unpruned column and `full_iterations` (the
 /// candidates that survived the pruned regions and were interpreted to
 /// completion) is the pruned column — one run, both numbers.
-fn prune_report(options: &Options, world: &LoadedWorld) -> Result<(), String> {
+fn prune_report(options: &Options, world: &LoadedWorld) -> Result<(), CliError> {
     let jobs = options.jobs.unwrap_or_else(default_jobs);
     let cache = ScenarioCache::new();
     println!("Appendix D pruning comparison (guard mode: one batch yields both columns)");
@@ -535,7 +623,7 @@ fn prune_report(options: &Options, world: &LoadedWorld) -> Result<(), String> {
         let source = read_source(file)?;
         let scenario = cache
             .get_or_compile(&options.world, &source, &world.core)
-            .map_err(|e| format!("{file}: {e}"))?;
+            .map_err(|e| scenic_err(file, &source, e))?;
         // Derived parameters, overridden by the command-line knobs.
         let mut params: PruneParams = scenario.derived_prune_params();
         if let Some(r) = options.min_radius {
@@ -574,7 +662,7 @@ fn prune_report(options: &Options, world: &LoadedWorld) -> Result<(), String> {
         let start = std::time::Instant::now();
         sampler
             .sample_batch(options.n, jobs)
-            .map_err(|e| format!("{file}: {e}"))?;
+            .map_err(|e| scenic_err(file, &source, e))?;
         let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
         let stats = sampler.stats();
         let unpruned = stats.iterations_per_scene();
@@ -593,27 +681,88 @@ fn prune_report(options: &Options, world: &LoadedWorld) -> Result<(), String> {
     Ok(())
 }
 
-fn run(options: &Options) -> Result<(), String> {
+fn run(options: &Options) -> Result<ExitCode, CliError> {
     match options.command.as_str() {
         "print" => {
             for file in &options.files {
                 let source = read_source(file)?;
-                let program = scenic::lang::parse(&source).map_err(|e| e.to_string())?;
+                let program = scenic::lang::parse(&source)
+                    .map_err(|e| scenic_err(file, &source, ScenicError::Parse(e)))?;
                 print!("{}", scenic::lang::print_program(&program));
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "check" => {
             let world = build_world(&options.world);
             let cache = ScenarioCache::new();
+            let mut failed = false;
             for file in &options.files {
                 let source = read_source(file)?;
-                cache
-                    .get_or_compile(&options.world, &source, &world.core)
-                    .map_err(|e| format!("{file}: {e}"))?;
-                eprintln!("{file}: ok");
+                match cache.get_or_compile(&options.world, &source, &world.core) {
+                    Ok(scenario) => {
+                        let diags = analyze(&scenario);
+                        // `check` reports problems; the I2xx pruning
+                        // narration stays in `lint` and `--stats`.
+                        let shown: Vec<Diagnostic> = diags
+                            .iter()
+                            .filter(|d| d.severity > Severity::Info)
+                            .cloned()
+                            .collect();
+                        if !shown.is_empty() {
+                            eprint!("{}", render_text(&shown, file, &source));
+                        }
+                        if shown.iter().any(|d| d.severity == Severity::Error) {
+                            failed = true;
+                        } else {
+                            eprintln!("{file}: ok");
+                        }
+                    }
+                    Err(err) => {
+                        let d = Diagnostic::from_error(&err);
+                        eprint!("{}", render_text(&[d], file, &source));
+                        failed = true;
+                    }
+                }
             }
-            Ok(())
+            Ok(if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "lint" => {
+            let world = build_world(&options.world);
+            let cache = ScenarioCache::new();
+            let mut any_error = false;
+            let mut any_warning = false;
+            for file in &options.files {
+                let source = read_source(file)?;
+                let diags = match cache.get_or_compile(&options.world, &source, &world.core) {
+                    Ok(scenario) => analyze(&scenario),
+                    Err(err) => vec![Diagnostic::from_error(&err)],
+                };
+                any_error |= diags.iter().any(|d| d.severity == Severity::Error);
+                any_warning |= diags.iter().any(|d| d.severity == Severity::Warning);
+                if options.format == "json" {
+                    print!("{}", render_json(&diags, file));
+                } else {
+                    print!("{}", render_text(&diags, file, &source));
+                    let count = |s: Severity| diags.iter().filter(|d| d.severity == s).count();
+                    eprintln!(
+                        "{file}: {} error(s), {} warning(s), {} note(s)",
+                        count(Severity::Error),
+                        count(Severity::Warning),
+                        count(Severity::Info),
+                    );
+                }
+            }
+            Ok(if any_error {
+                ExitCode::from(2)
+            } else if any_warning && options.deny_warnings {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
         }
         "sample" => {
             let world = build_world(&options.world);
@@ -627,18 +776,22 @@ fn run(options: &Options) -> Result<(), String> {
             let cache = ScenarioCache::new();
             let mut total = SamplerStats::default();
             let mut plans: Vec<(String, Arc<PrunePlan>)> = Vec::new();
+            let mut decisions: Vec<(String, Vec<PruneDecision>)> = Vec::new();
             let stems = unique_stems(&options.files);
             for (file, stem) in options.files.iter().zip(&stems) {
                 let source = read_source(file)?;
                 for rep in 0..options.repeat {
                     let scenario = cache
                         .get_or_compile(&options.world, &source, &world.core)
-                        .map_err(|e| format!("{file}: {e}"))?;
-                    if rep == 0 && options.prune && options.stats {
-                        plans.push((file.clone(), scenario.prune_plan()));
+                        .map_err(|e| scenic_err(file, &source, e))?;
+                    if rep == 0 && options.stats {
+                        if options.prune {
+                            plans.push((file.clone(), scenario.prune_plan()));
+                        }
+                        decisions.push((file.clone(), scenario.derived_prune_decisions()));
                     }
                     sample_round(
-                        options, &world, &scenario, file, stem, rep, jobs, &mut total,
+                        options, &world, &scenario, file, &source, stem, rep, jobs, &mut total,
                     )?;
                 }
             }
@@ -655,31 +808,39 @@ fn run(options: &Options) -> Result<(), String> {
                     total.visibility_rejections,
                 );
                 print_prune_stats(options.prune, &plans, &total);
+                print_prune_decisions(&decisions);
                 eprintln!(
                     "compiled {} scenario(s), {} cache hit(s)",
                     cache.misses(),
                     cache.hits(),
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "prune-report" => {
             let world = build_world(&options.world);
-            prune_report(options, &world)
+            prune_report(options, &world)?;
+            Ok(ExitCode::SUCCESS)
         }
         "bench-pool" => {
             let world = build_world(&options.world);
-            bench_pool(options, &world)
+            bench_pool(options, &world)?;
+            Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::Other(format!("unknown command `{other}`"))),
     }
 }
 
 fn main() -> ExitCode {
     match parse_args(std::env::args()) {
         Ok(options) => match run(&options) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(message) => {
+            Ok(code) => code,
+            Err(CliError::Scenic { file, source, err }) => {
+                let d = Diagnostic::from_error(&err);
+                eprint!("{}", render_text(&[d], &file, &source));
+                ExitCode::FAILURE
+            }
+            Err(CliError::Other(message)) => {
                 eprintln!("error: {message}");
                 ExitCode::FAILURE
             }

@@ -1,0 +1,4 @@
+# A requirement no sample can ever satisfy: distances are nonnegative.
+ego = Car
+other = Car offset by (-5, 5) @ (10, 20)
+require (distance to other) < 0

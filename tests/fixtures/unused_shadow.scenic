@@ -1,0 +1,7 @@
+# Dead code: `unusedSpot` is never read, and the first `limit` binding
+# is overwritten before any use.
+ego = Car
+unusedSpot = OrientedPoint on road
+limit = 5
+limit = 10
+require ego can see 0 @ limit
