@@ -1,16 +1,21 @@
 //! End-to-end sampling throughput over the bundled scenarios.
 //!
 //! Compiles each of the repo's `scenarios/*.scenic` files against its
-//! world and times one deterministic `sample_batch` call, reporting
-//! scenes/second and iterations/scene. `--json PATH` additionally
-//! writes the numbers as a stable machine-readable artifact (the
-//! committed `BENCH_sampling.json` at the repo root tracks throughput
-//! across PRs).
+//! world and times one deterministic `sample_batch` call per engine,
+//! reporting scenes/second and iterations/scene. `--json PATH`
+//! additionally writes the numbers as a stable machine-readable
+//! artifact (the committed `BENCH_sampling.json` at the repo root
+//! tracks throughput across PRs).
 //!
 //! ```text
-//! bench_sampling [-n N] [--seed S] [--jobs J] [--json PATH]
+//! bench_sampling [-n N] [--seed S] [--jobs J] [--engine E] [--json PATH]
 //! ```
+//!
+//! `--engine` takes `ast`, `compiled`, or `both` (the default): `both`
+//! times the reference interpreter and the compiled draw path
+//! back-to-back on each scenario, so one artifact captures the speedup.
 
+use scenic_core::compile::Engine;
 use scenic_core::sampler::{Sampler, SamplerConfig};
 use scenic_core::{compile_with_world, World};
 use std::path::PathBuf;
@@ -19,12 +24,14 @@ struct Args {
     n: usize,
     seed: u64,
     jobs: usize,
+    engines: Vec<Engine>,
     json: Option<String>,
 }
 
 struct Run {
     scenario: &'static str,
     world: &'static str,
+    engine: Engine,
     scenes: usize,
     elapsed_ms: f64,
     scenes_per_sec: f64,
@@ -48,6 +55,7 @@ fn parse_args() -> Args {
         jobs: std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
+        engines: vec![Engine::Ast, Engine::Compiled],
         json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -57,6 +65,13 @@ fn parse_args() -> Args {
             "-n" => args.n = value("-n").parse().expect("-n: positive integer"),
             "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
             "--jobs" => args.jobs = value("--jobs").parse().expect("--jobs: positive integer"),
+            "--engine" => {
+                let raw = value("--engine");
+                args.engines = match raw.as_str() {
+                    "both" => vec![Engine::Ast, Engine::Compiled],
+                    other => vec![other.parse().unwrap_or_else(|e: String| panic!("{e}"))],
+                };
+            }
             "--json" => args.json = Some(value("--json")),
             other => panic!("unknown argument `{other}`"),
         }
@@ -78,7 +93,7 @@ fn world_for(name: &str) -> World {
 }
 
 fn to_json(runs: &[Run], args: &Args) -> String {
-    let mut out = String::from("{\n  \"schema\": \"scenic-bench-sampling/v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"scenic-bench-sampling/v2\",\n");
     out.push_str(&format!(
         "  \"config\": {{\"n\": {}, \"seed\": {}, \"jobs\": {}}},\n  \"runs\": [",
         args.n, args.seed, args.jobs
@@ -88,10 +103,16 @@ fn to_json(runs: &[Run], args: &Args) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"scenario\": \"{}\", \"world\": \"{}\", \"scenes\": {}, \
-             \"elapsed_ms\": {:.1}, \"scenes_per_sec\": {:.1}, \
+            "\n    {{\"scenario\": \"{}\", \"world\": \"{}\", \"engine\": \"{}\", \
+             \"scenes\": {}, \"elapsed_ms\": {:.1}, \"scenes_per_sec\": {:.1}, \
              \"iterations_per_scene\": {:.2}}}",
-            r.scenario, r.world, r.scenes, r.elapsed_ms, r.scenes_per_sec, r.iterations_per_scene
+            r.scenario,
+            r.world,
+            r.engine,
+            r.scenes,
+            r.elapsed_ms,
+            r.scenes_per_sec,
+            r.iterations_per_scene
         ));
     }
     out.push_str("\n  ]\n}\n");
@@ -111,36 +132,46 @@ fn main() {
         let world = world_for(world_name);
         let scenario = compile_with_world(&source, &world)
             .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
-        let mut sampler = Sampler::new(&scenario)
-            .with_seed(args.seed)
-            .with_config(SamplerConfig {
-                max_iterations: 100_000,
-            })
-            .with_pruning();
-        // Warm-up: pay compilation-adjacent one-time costs (prune plan,
-        // worker-pool spawn) outside the timed region.
-        sampler
-            .sample_batch(1, args.jobs)
-            .unwrap_or_else(|e| panic!("{name}: warm-up failed: {e}"));
-        let start = std::time::Instant::now();
-        sampler
-            .sample_batch(args.n, args.jobs)
-            .unwrap_or_else(|e| panic!("{name}: sampling failed: {e}"));
-        let elapsed = start.elapsed().as_secs_f64();
-        let stats = sampler.stats();
-        let run = Run {
-            scenario: name,
-            world: world_name,
-            scenes: args.n,
-            elapsed_ms: elapsed * 1000.0,
-            scenes_per_sec: args.n as f64 / elapsed,
-            iterations_per_scene: stats.iterations as f64 / stats.scenes.max(1) as f64,
-        };
-        println!(
-            "  {:<18} ({}):  {:>8.1} scenes/s, {:>6.2} iters/scene, {:>8.1} ms total",
-            run.scenario, run.world, run.scenes_per_sec, run.iterations_per_scene, run.elapsed_ms
-        );
-        runs.push(run);
+        for &engine in &args.engines {
+            let mut sampler = Sampler::new(&scenario)
+                .with_seed(args.seed)
+                .with_engine(engine)
+                .with_config(SamplerConfig {
+                    max_iterations: 100_000,
+                })
+                .with_pruning();
+            // Warm-up: pay compilation-adjacent one-time costs (prune
+            // plan, lowering, worker-pool spawn) outside the timed
+            // region.
+            sampler
+                .sample_batch(1, args.jobs)
+                .unwrap_or_else(|e| panic!("{name}: warm-up failed: {e}"));
+            let start = std::time::Instant::now();
+            sampler
+                .sample_batch(args.n, args.jobs)
+                .unwrap_or_else(|e| panic!("{name}: sampling failed: {e}"));
+            let elapsed = start.elapsed().as_secs_f64();
+            let stats = sampler.stats();
+            let run = Run {
+                scenario: name,
+                world: world_name,
+                engine,
+                scenes: args.n,
+                elapsed_ms: elapsed * 1000.0,
+                scenes_per_sec: args.n as f64 / elapsed,
+                iterations_per_scene: stats.iterations as f64 / stats.scenes.max(1) as f64,
+            };
+            println!(
+                "  {:<18} ({}, {}):  {:>8.1} scenes/s, {:>6.2} iters/scene, {:>8.1} ms total",
+                run.scenario,
+                run.world,
+                run.engine,
+                run.scenes_per_sec,
+                run.iterations_per_scene,
+                run.elapsed_ms
+            );
+            runs.push(run);
+        }
     }
     if let Some(path) = &args.json {
         std::fs::write(path, to_json(&runs, &args)).unwrap_or_else(|e| panic!("{path}: {e}"));

@@ -44,6 +44,18 @@ pub fn define(env: &EnvRef, name: impl Into<String>, value: Value) {
     env.borrow_mut().vars.insert(name.into(), value);
 }
 
+/// Clones a scope's *own* `(name, value)` pairs, ignoring the parent
+/// chain. The compiled engine uses this to vet a hoisted base
+/// environment (checking for shared mutable values and for names the
+/// user program would `assign` into the shared scope).
+pub(crate) fn own_vars(env: &EnvRef) -> Vec<(String, Value)> {
+    env.borrow()
+        .vars
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
 /// Assigns to an existing name in the nearest enclosing scope that has
 /// it, or defines it in the current scope (Python-like assignment
 /// without `nonlocal`: we write into the scope that already holds the

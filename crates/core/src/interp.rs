@@ -51,12 +51,16 @@ pub struct Scenario {
     pub program: Arc<Program>,
     /// The world it runs against.
     pub world: World,
-    prelude: Arc<Program>,
-    module_programs: HashMap<String, Arc<Program>>,
+    pub(crate) prelude: Arc<Program>,
+    pub(crate) module_programs: HashMap<String, Arc<Program>>,
     /// The derived-parameter §5.2 prune plan, built lazily on first use
     /// and shared by every clone of this compiled scenario (so
     /// `ScenarioCache` hits and batch workers never re-prune).
-    prune: Arc<std::sync::OnceLock<Arc<PrunePlan>>>,
+    pub(crate) prune: Arc<std::sync::OnceLock<Arc<PrunePlan>>>,
+    /// The lowered draw path ([`crate::compile::CompiledProgram`]),
+    /// built lazily on first use and shared by every clone, exactly
+    /// like `prune`.
+    pub(crate) compiled: Arc<std::sync::OnceLock<Arc<crate::compile::CompiledProgram>>>,
 }
 
 // The parallel batch sampler relies on this; a non-thread-safe field
@@ -105,6 +109,7 @@ pub fn compile_with_world(source: &str, world: &World) -> RunResult<Scenario> {
         prelude,
         module_programs,
         prune: Arc::new(std::sync::OnceLock::new()),
+        compiled: Arc::new(std::sync::OnceLock::new()),
     })
 }
 
@@ -197,6 +202,36 @@ impl Scenario {
     pub fn prune_plan_with(&self, params: &PruneParams) -> Arc<PrunePlan> {
         Arc::new(prune::plan_for_world(&self.world, params))
     }
+
+    /// The lowered draw path of this scenario
+    /// ([`crate::compile::CompiledProgram`]), built once per compiled
+    /// scenario and shared by all clones — repeated sampling (and
+    /// `ScenarioCache` hits) never re-lower.
+    pub fn compiled(&self) -> Arc<crate::compile::CompiledProgram> {
+        Arc::clone(
+            self.compiled
+                .get_or_init(|| Arc::new(crate::compile::lower(self))),
+        )
+    }
+
+    /// Like [`Scenario::generate_pruned`], but dispatched through the
+    /// chosen evaluation [`crate::compile::Engine`]. Both engines
+    /// produce byte-identical scenes from identical RNG states.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::generate_pruned`].
+    pub fn generate_with<'a>(
+        &'a self,
+        rng: &mut StdRng,
+        plan: Option<&'a PrunePlan>,
+        engine: crate::compile::Engine,
+    ) -> RunResult<Scene> {
+        match engine {
+            crate::compile::Engine::Ast => self.generate_pruned(rng, plan),
+            crate::compile::Engine::Compiled => self.compiled().generate(rng, plan),
+        }
+    }
 }
 
 enum Flow {
@@ -234,9 +269,11 @@ enum Action {
         env: EnvRef,
     },
     /// A class default-value expression, evaluated with `self` bound.
+    /// The expression is shared (`Rc`) with the compiled engine's
+    /// per-class cache, so staging a default costs no deep clone.
     DefaultExpr {
         prop: String,
-        expr: Expr,
+        expr: Rc<Expr>,
         env: EnvRef,
     },
     /// `using name(args)` — a user-defined specifier application. The
@@ -248,6 +285,52 @@ enum Action {
         args: Vec<Value>,
         kwargs: Vec<(String, Value)>,
     },
+}
+
+/// Cheap classification of one prepared specifier entry — the only
+/// run-to-run variability in a construction site's metadata. At a
+/// fixed site (same specifier syntax) constructing a fixed class,
+/// equal shape vectors imply row-for-row identical [`SpecMeta`]s, so
+/// the staged Algorithm 1 resolution can be reused; `using` entries
+/// additionally validate the cached row against the callee's declared
+/// properties (see [`stage_matches`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ActionShape {
+    /// Values known up front; the count disambiguates a region draw
+    /// with vs. without an orientation.
+    Const(usize),
+    /// `left of <vector>` and friends.
+    BesideVector,
+    /// `left of <OrientedPoint>` and friends.
+    BesideOriented,
+    /// `facing <vectorField>`.
+    FacingField,
+    /// `facing toward/away from <vector>`.
+    FacingToward,
+    /// `apparently facing`.
+    ApparentlyFacing,
+    /// A `self`-dependent argument deferred until `position` is known.
+    Deferred,
+    /// A class default value.
+    Default,
+    /// A user-defined specifier application.
+    User,
+}
+
+impl Action {
+    fn shape(&self) -> ActionShape {
+        match self {
+            Action::Const(values) => ActionShape::Const(values.len()),
+            Action::BesideVector { .. } => ActionShape::BesideVector,
+            Action::BesideOriented { .. } => ActionShape::BesideOriented,
+            Action::FacingField(_) => ActionShape::FacingField,
+            Action::FacingToward { .. } => ActionShape::FacingToward,
+            Action::ApparentlyFacing { .. } => ActionShape::ApparentlyFacing,
+            Action::DeferredExpr { .. } => ActionShape::Deferred,
+            Action::DefaultExpr { .. } => ActionShape::Default,
+            Action::UserSpec { .. } => ActionShape::User,
+        }
+    }
 }
 
 struct DeferredRequirement {
@@ -271,6 +354,10 @@ pub struct Interpreter<'s, 'r> {
     next_id: usize,
     current_self: Option<ObjRef>,
     depth: usize,
+    /// Per-thread construction caches of the compiled engine (class
+    /// default staging, specifier-resolution memo); `None` under the
+    /// reference AST engine.
+    exec_cache: Option<Rc<crate::compile::ExecCache>>,
 }
 
 impl<'s, 'r> Interpreter<'s, 'r> {
@@ -289,6 +376,36 @@ impl<'s, 'r> Interpreter<'s, 'r> {
             next_id: 0,
             current_self: None,
             depth: 0,
+            exec_cache: None,
+        }
+    }
+
+    /// Creates an interpreter whose deterministic prefix (builtins,
+    /// workspace, prelude, auto-imports) has already been executed into
+    /// the parent of `globals` by the compiled engine; only
+    /// [`Interpreter::run_main`] remains to be run.
+    pub(crate) fn with_base(
+        scenario: &'s Scenario,
+        rng: &'r mut StdRng,
+        globals: EnvRef,
+        imported: HashSet<String>,
+        exec_cache: Rc<crate::compile::ExecCache>,
+        prune: Option<&'s PrunePlan>,
+    ) -> Self {
+        Interpreter {
+            scenario,
+            rng,
+            prune,
+            globals,
+            objects: Vec::new(),
+            ego: None,
+            params: Vec::new(),
+            requirements: Vec::new(),
+            imported,
+            next_id: 0,
+            current_self: None,
+            depth: 0,
+            exec_cache: Some(exec_cache),
         }
     }
 
@@ -298,6 +415,16 @@ impl<'s, 'r> Interpreter<'s, 'r> {
     ///
     /// Rejections and program errors, per [`Scenario::generate`].
     pub fn run(&mut self) -> RunResult<Scene> {
+        self.run_prefix()?;
+        self.run_main()
+    }
+
+    /// The deterministic prefix of every run: install builtins, bind
+    /// `workspace`, execute the prelude, then the auto-imported
+    /// modules. The compiled engine hoists this out of the candidate
+    /// loop (after verifying it draws no randomness — see
+    /// [`crate::compile`]).
+    pub(crate) fn run_prefix(&mut self) -> RunResult<()> {
         builtins::install(&self.globals);
         define(
             &self.globals,
@@ -309,9 +436,34 @@ impl<'s, 'r> Interpreter<'s, 'r> {
         for name in self.scenario.world.auto_imports.clone() {
             self.import_module(&name, 0)?;
         }
+        Ok(())
+    }
+
+    /// The per-candidate remainder of a run: execute the user program
+    /// and finalize the scene.
+    pub(crate) fn run_main(&mut self) -> RunResult<Scene> {
         let program = Arc::clone(&self.scenario.program);
         self.exec_block(&program.statements, &self.globals.clone())?;
         self.finalize()
+    }
+
+    /// The global scope and imported-module set after
+    /// [`Interpreter::run_prefix`] (cloned handles; used by the
+    /// compiled engine to capture a hoisted base environment).
+    pub(crate) fn base_snapshot(&self) -> (EnvRef, HashSet<String>) {
+        (self.globals.clone(), self.imported.clone())
+    }
+
+    /// Whether the prefix left all per-candidate state untouched — no
+    /// objects, ego, params, requirements, or identifiers allocated. A
+    /// prefix that dirtied any of these cannot be hoisted.
+    pub(crate) fn prefix_is_clean(&self) -> bool {
+        self.objects.is_empty()
+            && self.ego.is_none()
+            && self.params.is_empty()
+            && self.requirements.is_empty()
+            && self.next_id == 0
+            && self.current_self.is_none()
     }
 
     // -----------------------------------------------------------------
@@ -1083,29 +1235,23 @@ impl<'s, 'r> Interpreter<'s, 'r> {
         let saved_self = self.current_self.take();
         let prepared = self.prepare_specifiers(specifiers, env);
         self.current_self = saved_self;
-        let mut prepared = prepared?;
+        let mut actions = prepared?;
 
-        // Class default-value specifiers.
-        for (prop, expr) in class.defaults() {
-            let deps = self_dependencies(&expr);
-            prepared.push((
-                SpecMeta {
-                    name: format!("default {prop}"),
-                    specifies: vec![prop.clone()],
-                    optional: Vec::new(),
-                    deps,
-                    source: SpecSource::Default,
-                },
-                Action::DefaultExpr {
-                    prop,
-                    expr,
-                    env: class.env.clone(),
-                },
-            ));
+        // Class default-value specifiers (staged once per class by the
+        // compiled engine; rebuilt per construction under the AST
+        // engine).
+        let defaults = self.class_defaults(&class);
+        for d in defaults.iter() {
+            actions.push(Action::DefaultExpr {
+                prop: d.prop.clone(),
+                expr: Rc::clone(&d.expr),
+                env: class.env.clone(),
+            });
         }
 
-        let metas: Vec<SpecMeta> = prepared.iter().map(|(m, _)| m.clone()).collect();
-        let resolved = resolve(&class.name, &metas)?;
+        // Specifier metadata + Algorithm 1 resolution, staged per site
+        // under the compiled engine.
+        let stage = self.ctor_stage(specifiers, &class, &actions, &defaults)?;
 
         let obj: ObjRef = Rc::new(RefCell::new(ObjData {
             class_name: class.name.clone(),
@@ -1116,8 +1262,8 @@ impl<'s, 'r> Interpreter<'s, 'r> {
 
         let saved_self = self.current_self.replace(Rc::clone(&obj));
         let result = (|| -> RunResult<()> {
-            for (idx, props) in &resolved.order {
-                let values = self.eval_action(&prepared[*idx].1, &obj)?;
+            for (idx, props) in &stage.order.order {
+                let values = self.eval_action(&actions[*idx], &obj)?;
                 for prop in props {
                     let value = values
                         .iter()
@@ -1126,7 +1272,7 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                         .ok_or_else(|| ScenicError::Specifier {
                             message: format!(
                                 "specifier `{}` did not produce property `{prop}`",
-                                prepared[*idx].0.name
+                                stage.metas[*idx].name
                             ),
                             class: class.name.clone(),
                         })?;
@@ -1145,37 +1291,93 @@ impl<'s, 'r> Interpreter<'s, 'r> {
         Ok(Value::Object(obj))
     }
 
+    /// The staged default-value specifiers of `class`.
+    ///
+    /// Under the compiled engine, classes living in the shared base
+    /// environment (prelude and library classes — the ones every
+    /// candidate constructs from) are staged once per thread: the walk
+    /// up the superclass chain, the deep default-expression clones, and
+    /// the `self`-dependency analysis all happen on the first
+    /// construction only. Classes defined by the user program live in
+    /// per-candidate scopes, so their `Rc` identity is fresh each run
+    /// and caching them would never hit — they take the direct path.
+    fn class_defaults(
+        &mut self,
+        class: &Rc<RuntimeClass>,
+    ) -> Rc<Vec<crate::compile::CachedDefault>> {
+        if let Some(cache) = &self.exec_cache {
+            if Rc::ptr_eq(&class.env, &cache.base_env) {
+                let key = Rc::as_ptr(class) as usize;
+                if let Some(hit) = cache.defaults.borrow().get(&key) {
+                    return Rc::clone(hit);
+                }
+                let built = Rc::new(stage_class_defaults(class));
+                cache.defaults.borrow_mut().insert(key, Rc::clone(&built));
+                return built;
+            }
+        }
+        Rc::new(stage_class_defaults(class))
+    }
+
+    /// The staged metadata and Algorithm 1 resolution for one
+    /// construction site.
+    ///
+    /// Under the compiled engine, sites constructing a class that lives
+    /// in the shared base environment are staged once per thread —
+    /// every later candidate revalidates by shape (cheap pointer + tag
+    /// comparisons) instead of rebuilding ~15 metadata rows and
+    /// re-running resolution. The AST engine, and per-candidate user
+    /// classes (whose `Rc` identity is fresh each run), rebuild the
+    /// stage on every construction.
+    fn ctor_stage(
+        &self,
+        specifiers: &[Specifier],
+        class: &Rc<RuntimeClass>,
+        actions: &[Action],
+        defaults: &[crate::compile::CachedDefault],
+    ) -> RunResult<Rc<crate::compile::CtorStage>> {
+        if let Some(cache) = self
+            .exec_cache
+            .as_ref()
+            .filter(|c| Rc::ptr_eq(&class.env, &c.base_env))
+        {
+            let key = (specifiers.as_ptr() as usize, Rc::as_ptr(class) as usize);
+            if let Some(hit) = cache.ctors.borrow().get(&key) {
+                if stage_matches(hit, actions) {
+                    return Ok(Rc::clone(hit));
+                }
+            }
+            let stage = Rc::new(build_stage(&class.name, specifiers, actions, defaults)?);
+            cache.ctors.borrow_mut().insert(key, Rc::clone(&stage));
+            return Ok(stage);
+        }
+        Ok(Rc::new(build_stage(
+            &class.name,
+            specifiers,
+            actions,
+            defaults,
+        )?))
+    }
+
     /// Evaluates explicit specifier arguments, classifying each into an
-    /// [`Action`] with its [`SpecMeta`].
+    /// [`Action`]. Metadata is *not* built here — it depends only on
+    /// the specifier syntax plus each action's [`ActionShape`] (see
+    /// [`spec_meta`]), so staged construction sites skip it entirely.
     fn prepare_specifiers(
         &mut self,
         specifiers: &[Specifier],
         env: &EnvRef,
-    ) -> RunResult<Vec<(SpecMeta, Action)>> {
+    ) -> RunResult<Vec<Action>> {
         let mut out = Vec::with_capacity(specifiers.len());
         for spec in specifiers {
-            let name = spec.name();
-            let meta = |specifies: Vec<&str>, optional: Vec<&str>, deps: Vec<&str>| SpecMeta {
-                name: name.clone(),
-                specifies: specifies.into_iter().map(String::from).collect(),
-                optional: optional.into_iter().map(String::from).collect(),
-                deps: deps.into_iter().map(String::from).collect(),
-                source: SpecSource::Explicit,
-            };
             let entry = match spec {
                 Specifier::With(prop, expr) => match self.eval(expr, env) {
-                    Ok(v) => (
-                        meta(vec![prop], vec![], vec![]),
-                        Action::Const(vec![(prop.clone(), v)]),
-                    ),
-                    Err(ScenicError::NeedsSelf) => (
-                        meta(vec![prop], vec![], vec!["position"]),
-                        Action::DeferredExpr {
-                            prop: prop.clone(),
-                            expr: expr.clone(),
-                            env: env.clone(),
-                        },
-                    ),
+                    Ok(v) => Action::Const(vec![(prop.clone(), v)]),
+                    Err(ScenicError::NeedsSelf) => Action::DeferredExpr {
+                        prop: prop.clone(),
+                        expr: expr.clone(),
+                        env: env.clone(),
+                    },
                     Err(e) => return Err(e),
                 },
                 Specifier::Using {
@@ -1199,27 +1401,15 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                     for (k, v) in kwargs {
                         kwarg_values.push((k.clone(), self.eval(v, env)?));
                     }
-                    (
-                        SpecMeta {
-                            name: name.clone(),
-                            specifies: spec.def.specifies.clone(),
-                            optional: spec.def.optional.clone(),
-                            deps: spec.def.requires.clone(),
-                            source: SpecSource::Explicit,
-                        },
-                        Action::UserSpec {
-                            spec,
-                            args: arg_values,
-                            kwargs: kwarg_values,
-                        },
-                    )
+                    Action::UserSpec {
+                        spec,
+                        args: arg_values,
+                        kwargs: kwarg_values,
+                    }
                 }
                 Specifier::At(expr) => {
                     let v = self.eval(expr, env)?.as_vector()?;
-                    (
-                        meta(vec!["position"], vec![], vec![]),
-                        Action::Const(vec![("position".into(), Value::Vector(v))]),
-                    )
+                    Action::Const(vec![("position".into(), Value::Vector(v))])
                 }
                 Specifier::OffsetBy(expr) => {
                     let offset = self.eval(expr, env)?.as_vector()?;
@@ -1228,13 +1418,10 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                         let d = ego.borrow();
                         (d.position()?, d.heading().unwrap_or(0.0))
                     };
-                    (
-                        meta(vec!["position"], vec![], vec![]),
-                        Action::Const(vec![(
-                            "position".into(),
-                            Value::Vector(pos + offset.rotated(heading)),
-                        )]),
-                    )
+                    Action::Const(vec![(
+                        "position".into(),
+                        Value::Vector(pos + offset.rotated(heading)),
+                    )])
                 }
                 Specifier::OffsetAlong(direction, offset) => {
                     let base = self.ego()?.borrow().position()?;
@@ -1244,22 +1431,15 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                         Value::Field(f) => f.at(base).radians(),
                         _ => dir.as_heading()?,
                     };
-                    (
-                        meta(vec!["position"], vec![], vec![]),
-                        Action::Const(vec![(
-                            "position".into(),
-                            Value::Vector(base + offset.rotated(heading)),
-                        )]),
-                    )
+                    Action::Const(vec![(
+                        "position".into(),
+                        Value::Vector(base + offset.rotated(heading)),
+                    )])
                 }
                 Specifier::Beside { side, target, by } => {
                     let gap = match by {
                         Some(e) => self.eval(e, env)?.as_number()?,
                         None => 0.0,
-                    };
-                    let dim_dep = match side {
-                        Side::Left | Side::Right => "width",
-                        Side::Ahead | Side::Behind => "height",
                     };
                     let target_value = self.eval(target, env)?;
                     match target_value.unwrap_sample() {
@@ -1282,24 +1462,18 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                                 };
                                 pos += edge.rotated(heading);
                             }
-                            (
-                                meta(vec!["position"], vec!["heading"], vec![dim_dep]),
-                                Action::BesideOriented {
-                                    side: *side,
-                                    position: pos,
-                                    heading,
-                                    gap,
-                                },
-                            )
-                        }
-                        _ => (
-                            meta(vec!["position"], vec![], vec!["heading", dim_dep]),
-                            Action::BesideVector {
+                            Action::BesideOriented {
                                 side: *side,
-                                target: target_value.as_vector()?,
+                                position: pos,
+                                heading,
                                 gap,
-                            },
-                        ),
+                            }
+                        }
+                        _ => Action::BesideVector {
+                            side: *side,
+                            target: target_value.as_vector()?,
+                            gap,
+                        },
                     }
                 }
                 Specifier::Beyond {
@@ -1314,13 +1488,10 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                         None => self.ego()?.borrow().position()?,
                     };
                     let sight = Heading::of_vector(target - from).radians();
-                    (
-                        meta(vec!["position"], vec![], vec![]),
-                        Action::Const(vec![(
-                            "position".into(),
-                            Value::Vector(target + offset.rotated(sight)),
-                        )]),
-                    )
+                    Action::Const(vec![(
+                        "position".into(),
+                        Value::Vector(target + offset.rotated(sight)),
+                    )])
                 }
                 Specifier::Visible(from) => {
                     let viewer = match from {
@@ -1329,10 +1500,7 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                     };
                     let sector = viewer.visible_region();
                     let p = sector.sample(self.rng);
-                    (
-                        meta(vec!["position"], vec![], vec![]),
-                        Action::Const(vec![("position".into(), Value::Vector(p))]),
-                    )
+                    Action::Const(vec![("position".into(), Value::Vector(p))])
                 }
                 Specifier::InRegion(expr) => {
                     let region = self.eval(expr, env)?.as_region()?;
@@ -1348,15 +1516,10 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                         return Err(ScenicError::Rejected(Rejection::Pruned(pruner)));
                     }
                     let mut values = vec![("position".to_string(), Value::Vector(p))];
-                    let mut optional = vec![];
                     if let Some(h) = region.orientation_at(p) {
-                        optional.push("heading");
                         values.push(("heading".to_string(), Value::Number(h.radians())));
                     }
-                    (
-                        meta(vec!["position"], optional, vec![]),
-                        Action::Const(values),
-                    )
+                    Action::Const(values)
                 }
                 Specifier::Following {
                     field,
@@ -1370,57 +1533,39 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                     };
                     let d = self.eval(distance, env)?.as_number()?;
                     let end = f.follow(from, d, EULER_STEPS);
-                    (
-                        meta(vec!["position"], vec!["heading"], vec![]),
-                        Action::Const(vec![
-                            ("position".into(), Value::Vector(end)),
-                            ("heading".into(), Value::Number(f.at(end).radians())),
-                        ]),
-                    )
+                    Action::Const(vec![
+                        ("position".into(), Value::Vector(end)),
+                        ("heading".into(), Value::Number(f.at(end).radians())),
+                    ])
                 }
                 Specifier::Facing(expr) => match self.eval(expr, env) {
                     Ok(v) => match v.unwrap_sample() {
-                        Value::Field(f) => (
-                            meta(vec!["heading"], vec![], vec!["position"]),
-                            Action::FacingField(Arc::clone(f)),
-                        ),
+                        Value::Field(f) => Action::FacingField(Arc::clone(f)),
                         _ => {
                             let h = v.as_heading()?;
-                            (
-                                meta(vec!["heading"], vec![], vec![]),
-                                Action::Const(vec![(
-                                    "heading".into(),
-                                    maybe_taint(Value::Number(h), v.is_random()),
-                                )]),
-                            )
+                            Action::Const(vec![(
+                                "heading".into(),
+                                maybe_taint(Value::Number(h), v.is_random()),
+                            )])
                         }
                     },
-                    Err(ScenicError::NeedsSelf) => (
-                        meta(vec!["heading"], vec![], vec!["position"]),
-                        Action::DeferredExpr {
-                            prop: "heading".into(),
-                            expr: expr.clone(),
-                            env: env.clone(),
-                        },
-                    ),
+                    Err(ScenicError::NeedsSelf) => Action::DeferredExpr {
+                        prop: "heading".into(),
+                        expr: expr.clone(),
+                        env: env.clone(),
+                    },
                     Err(e) => return Err(e),
                 },
                 Specifier::FacingToward(expr) => {
                     let target = self.eval(expr, env)?.as_vector()?;
-                    (
-                        meta(vec!["heading"], vec![], vec!["position"]),
-                        Action::FacingToward {
-                            target,
-                            away: false,
-                        },
-                    )
+                    Action::FacingToward {
+                        target,
+                        away: false,
+                    }
                 }
                 Specifier::FacingAwayFrom(expr) => {
                     let target = self.eval(expr, env)?.as_vector()?;
-                    (
-                        meta(vec!["heading"], vec![], vec!["position"]),
-                        Action::FacingToward { target, away: true },
-                    )
+                    Action::FacingToward { target, away: true }
                 }
                 Specifier::ApparentlyFacing { heading, from } => {
                     let h = self.eval(heading, env)?.as_heading()?;
@@ -1428,10 +1573,7 @@ impl<'s, 'r> Interpreter<'s, 'r> {
                         Some(e) => self.eval(e, env)?.as_vector()?,
                         None => self.ego()?.borrow().position()?,
                     };
-                    (
-                        meta(vec!["heading"], vec![], vec!["position"]),
-                        Action::ApparentlyFacing { heading: h, from },
-                    )
+                    Action::ApparentlyFacing { heading: h, from }
                 }
             };
             out.push(entry);
@@ -1492,7 +1634,7 @@ impl<'s, 'r> Interpreter<'s, 'r> {
             Action::DefaultExpr { prop, expr, env } => {
                 let local = Scope::child(env);
                 define(&local, "self", Value::Object(Rc::clone(obj)));
-                let v = self.eval(expr, &local)?;
+                let v = self.eval(expr.as_ref(), &local)?;
                 Ok(vec![(prop.clone(), v)])
             }
             Action::UserSpec { spec, args, kwargs } => {
@@ -1636,42 +1778,52 @@ impl<'s, 'r> Interpreter<'s, 'r> {
         self.requirements = requirements;
 
         // Step 2b: default requirements (Fig. 25 termination rule).
+        // Every check below consults object bounding boxes — the
+        // pairwise collision check alone reads O(n²) of them — so each
+        // object's box (and the flags guarding the checks) is computed
+        // once, interleaved with the containment check to keep the
+        // rejection order identical to checking object-by-object.
         let workspace = &self.scenario.world.workspace;
-        if !matches!(**workspace, Region::Everywhere) {
-            for obj in &self.objects {
-                let bb = obj.borrow().bounding_box()?;
+        let check_workspace = !matches!(**workspace, Region::Everywhere);
+        let mut boxes = Vec::with_capacity(self.objects.len());
+        for obj in &self.objects {
+            let d = obj.borrow();
+            let bb = d.bounding_box()?;
+            if check_workspace {
                 let inside = bb.corners().iter().all(|&c| workspace.contains(c))
                     && workspace.contains(bb.center);
                 if !inside {
                     return Err(ScenicError::Rejected(Rejection::Containment));
                 }
             }
+            boxes.push((
+                bb,
+                d.bool_or("allowCollisions", false),
+                d.bool_or("requireVisible", true),
+            ));
         }
-        for (i, a) in self.objects.iter().enumerate() {
-            if a.borrow().bool_or("allowCollisions", false) {
+        for (i, (bb_a, allow_a, _)) in boxes.iter().enumerate() {
+            if *allow_a {
                 continue;
             }
-            for b in self.objects.iter().skip(i + 1) {
-                if b.borrow().bool_or("allowCollisions", false) {
+            for (bb_b, allow_b, _) in boxes.iter().skip(i + 1) {
+                if *allow_b {
                     continue;
                 }
-                if a.borrow()
-                    .bounding_box()?
-                    .intersects(&b.borrow().bounding_box()?)
-                {
+                if bb_a.intersects(bb_b) {
                     return Err(ScenicError::Rejected(Rejection::Collision));
                 }
             }
         }
         let ego_viewer = ego.borrow().viewer()?;
-        for obj in &self.objects {
+        for (obj, (bb, _, require_visible)) in self.objects.iter().zip(&boxes) {
             if Rc::ptr_eq(obj, &ego) {
                 continue;
             }
-            if !obj.borrow().bool_or("requireVisible", true) {
+            if !require_visible {
                 continue;
             }
-            if !ego_viewer.can_see_box(&obj.borrow().bounding_box()?) {
+            if !ego_viewer.can_see_box(bb) {
                 return Err(ScenicError::Rejected(Rejection::Visibility));
             }
         }
@@ -1688,6 +1840,143 @@ impl<'s, 'r> Interpreter<'s, 'r> {
             .collect();
         Ok(Scene { params, objects })
     }
+}
+
+/// Builds the metadata row for one explicit specifier given the action
+/// its evaluation produced. Separated from evaluation so staged
+/// construction sites can skip it on a cache hit: metadata depends
+/// only on the specifier syntax and the action's [`ActionShape`],
+/// never on the values drawn.
+fn spec_meta(spec: &Specifier, action: &Action) -> SpecMeta {
+    let meta = |specifies: Vec<&str>, optional: Vec<&str>, deps: Vec<&str>| SpecMeta {
+        name: spec.name(),
+        specifies: specifies.into_iter().map(String::from).collect(),
+        optional: optional.into_iter().map(String::from).collect(),
+        deps: deps.into_iter().map(String::from).collect(),
+        source: SpecSource::Explicit,
+    };
+    match (spec, action) {
+        (Specifier::With(prop, _), Action::DeferredExpr { .. }) => {
+            meta(vec![prop], vec![], vec!["position"])
+        }
+        (Specifier::With(prop, _), _) => meta(vec![prop], vec![], vec![]),
+        (Specifier::Using { .. }, Action::UserSpec { spec: callee, .. }) => SpecMeta {
+            name: spec.name(),
+            specifies: callee.def.specifies.clone(),
+            optional: callee.def.optional.clone(),
+            deps: callee.def.requires.clone(),
+            source: SpecSource::Explicit,
+        },
+        (Specifier::Using { .. }, _) => {
+            unreachable!("`using` always prepares a UserSpec action")
+        }
+        (
+            Specifier::At(_)
+            | Specifier::OffsetBy(_)
+            | Specifier::OffsetAlong(..)
+            | Specifier::Beyond { .. }
+            | Specifier::Visible(_),
+            _,
+        ) => meta(vec!["position"], vec![], vec![]),
+        (Specifier::Beside { side, .. }, action) => {
+            let dim_dep = match side {
+                Side::Left | Side::Right => "width",
+                Side::Ahead | Side::Behind => "height",
+            };
+            match action {
+                Action::BesideOriented { .. } => {
+                    meta(vec!["position"], vec!["heading"], vec![dim_dep])
+                }
+                _ => meta(vec!["position"], vec![], vec!["heading", dim_dep]),
+            }
+        }
+        (Specifier::InRegion(_), Action::Const(values)) if values.len() > 1 => {
+            meta(vec!["position"], vec!["heading"], vec![])
+        }
+        (Specifier::InRegion(_), _) => meta(vec!["position"], vec![], vec![]),
+        (Specifier::Following { .. }, _) => meta(vec!["position"], vec!["heading"], vec![]),
+        (Specifier::Facing(_), Action::Const(_)) => meta(vec!["heading"], vec![], vec![]),
+        (Specifier::Facing(_), _) => meta(vec!["heading"], vec![], vec!["position"]),
+        (
+            Specifier::FacingToward(_)
+            | Specifier::FacingAwayFrom(_)
+            | Specifier::ApparentlyFacing { .. },
+            _,
+        ) => meta(vec!["heading"], vec![], vec!["position"]),
+    }
+}
+
+/// Whether a staged site can be reused for this candidate's prepared
+/// actions: same shape vector, and for `using` entries the same
+/// declared properties. (User-defined specifier values are fresh each
+/// candidate when defined in the user program, so pointer identity is
+/// not a sound fingerprint — compare the metadata-relevant content.)
+fn stage_matches(stage: &crate::compile::CtorStage, actions: &[Action]) -> bool {
+    stage.shapes.len() == actions.len()
+        && stage
+            .shapes
+            .iter()
+            .zip(actions)
+            .enumerate()
+            .all(|(i, (shape, action))| {
+                if *shape != action.shape() {
+                    return false;
+                }
+                match action {
+                    Action::UserSpec { spec, .. } => {
+                        let m = &stage.metas[i];
+                        m.specifies == spec.def.specifies
+                            && m.optional == spec.def.optional
+                            && m.deps == spec.def.requires
+                    }
+                    _ => true,
+                }
+            })
+}
+
+/// Builds a construction site's stage: the metadata rows (explicit
+/// entries first, then the class defaults, mirroring the prepared
+/// action order) and their Algorithm 1 resolution.
+fn build_stage(
+    class_name: &str,
+    specifiers: &[Specifier],
+    actions: &[Action],
+    defaults: &[crate::compile::CachedDefault],
+) -> RunResult<crate::compile::CtorStage> {
+    let mut metas: Vec<SpecMeta> = specifiers
+        .iter()
+        .zip(actions)
+        .map(|(s, a)| spec_meta(s, a))
+        .collect();
+    metas.extend(defaults.iter().map(|d| d.meta.clone()));
+    let order = resolve(class_name, &metas)?;
+    Ok(crate::compile::CtorStage {
+        shapes: actions.iter().map(Action::shape).collect(),
+        metas,
+        order,
+    })
+}
+
+/// Builds the staged default-value specifiers of a class: one
+/// [`crate::compile::CachedDefault`] per inherited-or-own property, with
+/// the specifier metadata (including the `self`-dependency analysis)
+/// precomputed.
+fn stage_class_defaults(class: &Rc<RuntimeClass>) -> Vec<crate::compile::CachedDefault> {
+    class
+        .defaults()
+        .into_iter()
+        .map(|(prop, expr)| crate::compile::CachedDefault {
+            meta: SpecMeta {
+                name: format!("default {prop}"),
+                specifies: vec![prop.clone()],
+                optional: Vec::new(),
+                deps: self_dependencies(&expr),
+                source: SpecSource::Default,
+            },
+            prop,
+            expr: Rc::new(expr),
+        })
+        .collect()
 }
 
 /// Local offset for `left of` / `right of` / `ahead of` / `behind`

@@ -40,6 +40,7 @@ pub mod analysis;
 pub mod builtins;
 pub mod cache;
 pub mod class;
+pub mod compile;
 pub mod diag;
 pub mod env;
 pub mod error;
@@ -55,6 +56,7 @@ pub mod world;
 
 pub use analysis::analyze;
 pub use cache::{source_hash, ScenarioCache};
+pub use compile::{CompiledProgram, Engine};
 pub use diag::{Code, Diagnostic, Severity};
 pub use error::{Pruner, Rejection, RunResult, ScenicError};
 pub use interp::{compile, compile_with_world, Interpreter, Scenario};

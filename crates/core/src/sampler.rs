@@ -28,6 +28,7 @@
 //!   as the baseline the pool is benchmarked against, see
 //!   `benches/pool.rs`).
 
+use crate::compile::Engine;
 use crate::error::{Pruner, Rejection, RunResult, ScenicError};
 use crate::interp::Scenario;
 use crate::pool::WorkerPool;
@@ -201,6 +202,8 @@ type IndexedOutcomes = Vec<(usize, (RunResult<Scene>, SamplerStats))>;
 struct BatchShared {
     scenario: Scenario,
     config: SamplerConfig,
+    /// Evaluation engine for every candidate run.
+    engine: Engine,
     /// Active §5.2 prune guards, shared by every worker.
     prune: Option<Arc<PrunePlan>>,
     root_seed: u64,
@@ -230,6 +233,7 @@ fn drain_batch(shared: &BatchShared) -> IndexedOutcomes {
             shared.config,
             seed,
             shared.prune.as_deref(),
+            shared.engine,
         );
         if outcome.0.is_err() {
             shared.first_error.fetch_min(index, Ordering::AcqRel);
@@ -271,6 +275,7 @@ fn sample_scene(
     config: SamplerConfig,
     seed: u64,
     prune: Option<&PrunePlan>,
+    engine: Engine,
 ) -> (RunResult<Scene>, SamplerStats) {
     let mut stats = SamplerStats::default();
     let mut seed_rng = StdRng::seed_from_u64(seed);
@@ -280,7 +285,7 @@ fn sample_scene(
         // the candidate stream — and therefore the accepted scenes — is
         // identical with prune guards on or off.
         let mut run_rng = StdRng::seed_from_u64(seed_rng.gen());
-        match scenario.generate_pruned(&mut run_rng, prune) {
+        match scenario.generate_with(&mut run_rng, prune, engine) {
             Ok(scene) => {
                 stats.scenes += 1;
                 return (Ok(scene), stats);
@@ -338,6 +343,9 @@ pub struct Sampler<'s> {
     stats: SamplerStats,
     /// Active §5.2 prune guards (`None` = unpruned sampling).
     prune: Option<Arc<PrunePlan>>,
+    /// Evaluation engine (compiled by default; scenes are byte-identical
+    /// either way, see [`Engine`]).
+    engine: Engine,
 }
 
 impl<'s> Sampler<'s> {
@@ -352,6 +360,7 @@ impl<'s> Sampler<'s> {
             rng: StdRng::seed_from_u64(root_seed),
             stats: SamplerStats::default(),
             prune: None,
+            engine: Engine::default(),
         }
     }
 
@@ -359,6 +368,19 @@ impl<'s> Sampler<'s> {
     pub fn with_config(mut self, config: SamplerConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Selects the evaluation engine ([`Engine::Compiled`] by default).
+    /// Engine choice never changes the sampled scenes, statistics, or
+    /// RNG streams — only how fast candidates evaluate.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The active evaluation engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Turns on §5.2 prune guards with the scenario's auto-derived
@@ -441,7 +463,7 @@ impl<'s> Sampler<'s> {
             let mut run_rng = StdRng::seed_from_u64(self.rng.gen());
             match self
                 .scenario
-                .generate_pruned(&mut run_rng, self.prune.as_deref())
+                .generate_with(&mut run_rng, self.prune.as_deref(), self.engine)
             {
                 Ok(scene) => {
                     self.stats.scenes += 1;
@@ -465,7 +487,13 @@ impl<'s> Sampler<'s> {
     ///
     /// Same as [`Sampler::sample`].
     pub fn sample_seeded(&mut self, seed: u64) -> RunResult<Scene> {
-        let (result, stats) = sample_scene(self.scenario, self.config, seed, self.prune.as_deref());
+        let (result, stats) = sample_scene(
+            self.scenario,
+            self.config,
+            seed,
+            self.prune.as_deref(),
+            self.engine,
+        );
         self.stats.merge(&stats);
         result
     }
@@ -598,6 +626,7 @@ impl<'s> Sampler<'s> {
         BatchShared {
             scenario: self.scenario.clone(),
             config: self.config,
+            engine: self.engine,
             prune: self.prune.clone(),
             root_seed: self.root_seed,
             n,
@@ -624,7 +653,13 @@ impl<'s> Sampler<'s> {
         let mut slots: Vec<BatchSlot> = Vec::new();
         for index in 0..n {
             let seed = derive_scene_seed(self.root_seed, index as u64);
-            let outcome = sample_scene(self.scenario, self.config, seed, self.prune.as_deref());
+            let outcome = sample_scene(
+                self.scenario,
+                self.config,
+                seed,
+                self.prune.as_deref(),
+                self.engine,
+            );
             let failed = outcome.0.is_err();
             slots.push(Some(outcome));
             if failed {

@@ -19,7 +19,7 @@
 use crate::error::{RunResult, ScenicError};
 
 /// Where a specifier came from (priority order of Algorithm 1 step 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpecSource {
     /// Written explicitly at the construction site.
     Explicit,
@@ -28,7 +28,10 @@ pub enum SpecSource {
 }
 
 /// Metadata of one specifier instance.
-#[derive(Debug, Clone)]
+///
+/// `Eq + Hash` let the compiled engine memoize [`resolve`] results by
+/// `(class, metas)` — resolution is a pure function of this metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SpecMeta {
     /// Display name for diagnostics (e.g. `left of`).
     pub name: String,

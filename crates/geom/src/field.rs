@@ -6,7 +6,7 @@
 //! §5.2 exploit fields that are *constant within polygonal cells*; the
 //! [`VectorField::Polygonal`] variant exposes that structure.
 
-use crate::{Heading, Polygon, Vec2};
+use crate::{GridIndex, Heading, Polygon, Vec2};
 use std::sync::Arc;
 
 /// A polygonal cell with a constant field value.
@@ -30,6 +30,11 @@ pub enum VectorField {
         cells: Arc<Vec<FieldCell>>,
         /// Heading outside every cell.
         default: Heading,
+        /// Grid index over the cells' bounding boxes; `at` only tests
+        /// the cells whose box covers the query point. Candidates come
+        /// back in cell order, so the first match is the same cell a
+        /// linear scan would find.
+        index: Arc<GridIndex>,
     },
     /// Points towards `target` from every point (e.g. "shortest path to a
     /// destination").
@@ -42,9 +47,11 @@ pub enum VectorField {
 impl VectorField {
     /// Creates a polygonal-cell field.
     pub fn polygonal(cells: Vec<FieldCell>, default: Heading) -> Self {
+        let boxes: Vec<crate::Aabb> = cells.iter().map(|c| c.polygon.aabb()).collect();
         VectorField::Polygonal {
             cells: Arc::new(cells),
             default,
+            index: Arc::new(GridIndex::build(&boxes)),
         }
     }
 
@@ -52,8 +59,14 @@ impl VectorField {
     pub fn at(&self, p: Vec2) -> Heading {
         match self {
             VectorField::Constant(h) => *h,
-            VectorField::Polygonal { cells, default } => cells
+            VectorField::Polygonal {
+                cells,
+                default,
+                index,
+            } => index
+                .candidates(p)
                 .iter()
+                .map(|&i| &cells[i as usize])
                 .find(|c| c.polygon.contains(p))
                 .map(|c| c.heading)
                 .unwrap_or(*default),
@@ -128,6 +141,36 @@ mod tests {
         assert!(f
             .at(Vec2::new(100.0, 100.0))
             .approx_eq(Heading::NORTH, 1e-9));
+    }
+
+    #[test]
+    fn many_cell_field_matches_linear_scan() {
+        // A long strip of abutting cells plus one large overlapping
+        // cell appended last: the indexed lookup must return exactly
+        // the heading a linear first-match scan finds, including on
+        // shared edges and inside the overlap.
+        let mut cells: Vec<FieldCell> = (0..60)
+            .map(|i| FieldCell {
+                polygon: Polygon::rectangle(Vec2::new(2.0 * i as f64, 0.0), 2.0, 4.0),
+                heading: Heading::from_degrees(i as f64),
+            })
+            .collect();
+        cells.push(FieldCell {
+            polygon: Polygon::rectangle(Vec2::new(60.0, 0.0), 200.0, 10.0),
+            heading: Heading::from_degrees(271.0),
+        });
+        let f = VectorField::polygonal(cells.clone(), Heading::NORTH);
+        for xi in -10..135 {
+            for yi in -12..13 {
+                let p = Vec2::new(xi as f64, yi as f64 * 0.5);
+                let linear = cells
+                    .iter()
+                    .find(|c| c.polygon.contains(p))
+                    .map(|c| c.heading)
+                    .unwrap_or(Heading::NORTH);
+                assert_eq!(f.at(p), linear, "point {p}");
+            }
+        }
     }
 
     #[test]

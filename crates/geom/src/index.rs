@@ -1,0 +1,208 @@
+//! Uniform-grid spatial index over item bounding boxes.
+//!
+//! Point queries against a set of polygons (region containment, field
+//! cell lookup, prune-guard checks) are on the sampler's per-candidate
+//! hot path. A linear scan pays O(pieces) per query; on real road maps
+//! with hundreds of cells that dominates the draw cost. This index
+//! buckets item AABBs into a uniform grid so a query only tests the few
+//! items whose boxes cover the query point's cell.
+//!
+//! Two properties matter for drop-in equivalence with the linear scan:
+//!
+//! - **Boundary tolerance**: [`crate::Polygon::contains`] counts points
+//!   within [`crate::EPSILON`] of the boundary as inside, so item boxes
+//!   are inflated by `EPSILON` before bucketing — a point that the
+//!   tolerant test accepts is always routed to that item's cells.
+//! - **Insertion order**: each cell stores candidate indices in
+//!   ascending item order, so `candidates(p)` enumerates items in the
+//!   same order the linear scan would visit them. First-match lookups
+//!   (field cells) therefore pick the identical item.
+
+use crate::{Aabb, Vec2, EPSILON};
+
+/// Upper bound on grid resolution per axis (memory guard).
+const MAX_SIDE: usize = 128;
+
+/// A uniform grid mapping points to the items whose (inflated) bounding
+/// boxes cover them.
+///
+/// # Example
+///
+/// ```
+/// use scenic_geom::{Aabb, GridIndex, Vec2};
+/// let boxes = vec![
+///     Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0)),
+///     Aabb::new(Vec2::new(5.0, 5.0), Vec2::new(6.0, 6.0)),
+/// ];
+/// let index = GridIndex::build(&boxes);
+/// assert_eq!(index.candidates(Vec2::new(0.5, 0.5)), &[0]);
+/// assert_eq!(index.candidates(Vec2::new(9.0, 9.0)), &[] as &[u32]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    bounds: Aabb,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    cells: Vec<Vec<u32>>,
+    items: usize,
+}
+
+impl GridIndex {
+    /// Builds an index over one AABB per item. Item `i` in the slice is
+    /// reported as candidate index `i`.
+    pub fn build(boxes: &[Aabb]) -> GridIndex {
+        let inflated: Vec<Aabb> = boxes.iter().map(|b| b.inflated(EPSILON)).collect();
+        let bounds = match inflated.split_first() {
+            Some((first, rest)) => rest.iter().fold(*first, |u, b| u.union(b)),
+            None => Aabb::new(Vec2::ZERO, Vec2::ZERO),
+        };
+        // ~1 cell per item per axis keeps expected occupancy O(1) for
+        // roughly uniform layouts; clamped for degenerate extents.
+        let side = ((boxes.len() as f64).sqrt().ceil() as usize).clamp(1, MAX_SIDE);
+        let cols = if bounds.width() > EPSILON { side } else { 1 };
+        let rows = if bounds.height() > EPSILON { side } else { 1 };
+        let cell_w = (bounds.width() / cols as f64).max(EPSILON);
+        let cell_h = (bounds.height() / rows as f64).max(EPSILON);
+        let mut cells = vec![Vec::new(); cols * rows];
+        for (i, bb) in inflated.iter().enumerate() {
+            let (c0, r0) = clamp_cell(&bounds, cols, rows, cell_w, cell_h, bb.min);
+            let (c1, r1) = clamp_cell(&bounds, cols, rows, cell_w, cell_h, bb.max);
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    cells[r * cols + c].push(i as u32);
+                }
+            }
+        }
+        GridIndex {
+            bounds,
+            cols,
+            rows,
+            cell_w,
+            cell_h,
+            cells,
+            items: boxes.len(),
+        }
+    }
+
+    /// Indices of the items whose inflated boxes may contain `p`, in
+    /// ascending item order. Empty when `p` is outside every item's box.
+    pub fn candidates(&self, p: Vec2) -> &[u32] {
+        if !self.bounds.contains(p) {
+            return &[];
+        }
+        let (c, r) = clamp_cell(
+            &self.bounds,
+            self.cols,
+            self.rows,
+            self.cell_w,
+            self.cell_h,
+            p,
+        );
+        &self.cells[r * self.cols + c]
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// Whether the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+}
+
+fn clamp_cell(
+    bounds: &Aabb,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    p: Vec2,
+) -> (usize, usize) {
+    let c = (((p.x - bounds.min.x) / cell_w) as usize).min(cols - 1);
+    let r = (((p.y - bounds.min.y) / cell_h) as usize).min(rows - 1);
+    (c, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Polygon;
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.candidates(Vec2::ZERO), &[] as &[u32]);
+    }
+
+    #[test]
+    fn single_item_covers_only_its_box() {
+        let idx = GridIndex::build(&[Aabb::new(Vec2::new(-1.0, -1.0), Vec2::new(1.0, 1.0))]);
+        assert_eq!(idx.candidates(Vec2::ZERO), &[0]);
+        assert_eq!(idx.candidates(Vec2::new(5.0, 0.0)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn candidates_preserve_item_order() {
+        // Three overlapping boxes: candidates must come back 0, 1, 2.
+        let b = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(2.0, 2.0));
+        let idx = GridIndex::build(&[b, b, b]);
+        assert_eq!(idx.candidates(Vec2::new(1.0, 1.0)), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn boundary_point_is_candidate() {
+        // A point exactly on the shared edge of two boxes must be a
+        // candidate of both (Polygon::contains is boundary-inclusive).
+        let left = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0));
+        let right = Aabb::new(Vec2::new(1.0, 0.0), Vec2::new(2.0, 1.0));
+        let idx = GridIndex::build(&[left, right]);
+        let on_edge = Vec2::new(1.0, 0.5);
+        let c = idx.candidates(on_edge);
+        assert!(c.contains(&0) && c.contains(&1), "candidates {c:?}");
+    }
+
+    #[test]
+    fn grid_agrees_with_linear_scan() {
+        // A strip of disjoint squares plus a big one overlapping all.
+        let mut polys: Vec<Polygon> = (0..30)
+            .map(|i| Polygon::rectangle(Vec2::new(3.0 * i as f64, 0.0), 2.0, 2.0))
+            .collect();
+        polys.push(Polygon::rectangle(Vec2::new(45.0, 0.0), 90.0, 0.5));
+        let boxes: Vec<Aabb> = polys.iter().map(Polygon::aabb).collect();
+        let idx = GridIndex::build(&boxes);
+        for xi in -5..100 {
+            for yi in -3..4 {
+                let p = Vec2::new(xi as f64, yi as f64 * 0.5);
+                let linear: Vec<usize> = polys
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, poly)| poly.contains(p))
+                    .map(|(i, _)| i)
+                    .collect();
+                let gridded: Vec<usize> = idx
+                    .candidates(p)
+                    .iter()
+                    .map(|&i| i as usize)
+                    .filter(|&i| polys[i].contains(p))
+                    .collect();
+                assert_eq!(linear, gridded, "point {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_extent() {
+        // All boxes on a vertical line: width ~ 0 must not divide by 0.
+        let boxes: Vec<Aabb> = (0..5)
+            .map(|i| Aabb::new(Vec2::new(0.0, i as f64), Vec2::new(0.0, i as f64 + 1.0)))
+            .collect();
+        let idx = GridIndex::build(&boxes);
+        assert!(idx.candidates(Vec2::new(0.0, 2.5)).contains(&2));
+    }
+}

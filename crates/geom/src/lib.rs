@@ -17,7 +17,10 @@
 //! - [`VectorField`]s, including the polygonal-cell fields used by road
 //!   maps (§5.2) and forward-Euler `follow` (Appendix C.1);
 //! - [`OrientedBox`] bounding boxes with exact intersection tests, used by
-//!   the default requirements (collision / containment / visibility).
+//!   the default requirements (collision / containment / visibility);
+//! - [`GridIndex`], a uniform-grid point-query index over region pieces
+//!   and field cells that keeps per-candidate containment checks O(1)
+//!   instead of O(pieces).
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@ pub mod bbox;
 pub mod clip;
 pub mod field;
 pub mod heading;
+pub mod index;
 pub mod polygon;
 pub mod region;
 pub mod sector;
@@ -43,6 +47,7 @@ pub mod visibility;
 pub use bbox::{Aabb, OrientedBox};
 pub use field::VectorField;
 pub use heading::Heading;
+pub use index::GridIndex;
 pub use polygon::Polygon;
 pub use region::Region;
 pub use sector::Sector;

@@ -7,7 +7,7 @@
 //! the pruning pre-passes.
 
 use crate::triangulate::PolygonSampler;
-use crate::{Aabb, Heading, Polygon, Sector, Vec2, VectorField};
+use crate::{Aabb, GridIndex, Heading, Polygon, Sector, Vec2, VectorField};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -30,6 +30,9 @@ pub struct PolygonRegion {
     margin: f64,
     /// Outer-boundary edges (excludes edges shared between two cells).
     boundary_edges: Arc<Vec<(Vec2, Vec2)>>,
+    /// Grid index over the polygons' bounding boxes: `contains` only
+    /// tests the pieces whose box covers the query point.
+    index: Arc<GridIndex>,
 }
 
 impl PolygonRegion {
@@ -37,12 +40,15 @@ impl PolygonRegion {
     pub fn new(polygons: Vec<Polygon>, orientation: Option<VectorField>) -> Self {
         let sampler = Arc::new(PolygonSampler::new(polygons.iter()));
         let boundary_edges = Arc::new(outer_boundary_edges(&polygons));
+        let boxes: Vec<Aabb> = polygons.iter().map(Polygon::aabb).collect();
+        let index = Arc::new(GridIndex::build(&boxes));
         PolygonRegion {
             polygons: Arc::new(polygons),
             orientation,
             sampler,
             margin: 0.0,
             boundary_edges,
+            index,
         }
     }
 
@@ -102,7 +108,10 @@ impl PolygonRegion {
     }
 
     fn contains_raw(&self, p: Vec2) -> bool {
-        self.polygons.iter().any(|poly| poly.contains(p))
+        self.index
+            .candidates(p)
+            .iter()
+            .any(|&i| self.polygons[i as usize].contains(p))
     }
 
     /// Containment, honoring the erosion margin.

@@ -36,6 +36,7 @@
 //! `sample_batch` per call under the scoped-spawn strategy (fresh
 //! threads per call) and the persistent pool, at batch sizes 1/8/64.
 
+use scenic::core::compile::Engine;
 use scenic::core::diag::{render_json, render_line, render_text, Diagnostic, Severity};
 use scenic::core::prune::{PruneDecision, PrunePlan};
 use scenic::core::sampler::{Sampler, SamplerConfig, SamplerStats};
@@ -78,6 +79,7 @@ usage:
   scenic print  <file>...
   scenic sample <file>... [--world gta|mars|bare] [-n N] [--seed S]
                 [--jobs J] [--repeat R] [--prune[=off]]
+                [--engine ast|compiled]
                 [--format json|gta|wbt|summary] [--out DIR]
                 [--stats] [--ppm]
   scenic prune-report <file>... [--world W] [-n N] [--seed S] [--jobs J]
@@ -99,6 +101,11 @@ options:
                 automatically from the scenario and never change which
                 scenes are sampled — only how early doomed candidate
                 runs are abandoned; --prune=off disables them
+  --engine E    candidate evaluation engine: compiled (default) runs the
+                lowered draw path (constants folded, library prefix
+                hoisted, construction staged); ast runs the reference
+                tree-walking interpreter. Scenes are byte-identical
+                either way
   --format F    output format: sample takes json|gta|wbt|summary (default
                 summary); lint takes text|json (default text)
   --out DIR     write one file per scene instead of stdout
@@ -138,6 +145,9 @@ struct Options {
     /// §5.2 prune guards during `sample` (on by default; guards never
     /// change the sampled scenes, only how early doomed runs die).
     prune: bool,
+    /// Candidate evaluation engine for `sample` (compiled by default;
+    /// scenes are byte-identical under either engine).
+    engine: Engine,
     /// `prune-report` parameter overrides (on top of the derived ones).
     min_radius: Option<f64>,
     heading: Option<(f64, f64)>,
@@ -172,6 +182,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         ppm: false,
         deny_warnings: false,
         prune: true,
+        engine: Engine::default(),
         min_radius: None,
         heading: None,
         heading_tolerance: None,
@@ -228,6 +239,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
             "--ppm" => options.ppm = true,
             "--prune" | "--prune=on" => options.prune = true,
             "--prune=off" => options.prune = false,
+            "--engine" => options.engine = take("--engine")?.parse()?,
             other if other.starts_with("--prune=") => {
                 return Err(format!(
                     "unknown --prune value `{other}` (expected on or off)"
@@ -436,7 +448,9 @@ fn sample_round(
     total: &mut SamplerStats,
 ) -> Result<(), CliError> {
     let seed = options.seed.wrapping_add(rep as u64);
-    let mut sampler = Sampler::new(scenario).with_seed(seed);
+    let mut sampler = Sampler::new(scenario)
+        .with_seed(seed)
+        .with_engine(options.engine);
     if options.prune {
         sampler = sampler.with_pruning();
     }
@@ -796,6 +810,7 @@ fn run(options: &Options) -> Result<ExitCode, CliError> {
                 }
             }
             if options.stats {
+                eprintln!("engine: {}", options.engine);
                 eprintln!(
                     "{} scenes, {} iterations ({:.1}/scene); rejections: \
                      {} requirement, {} collision, {} containment, {} visibility",

@@ -63,6 +63,7 @@ pub use scenic_sim as sim;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use scenic_core::cache::{source_hash, ScenarioCache};
+    pub use scenic_core::compile::Engine;
     pub use scenic_core::pool::WorkerPool;
     pub use scenic_core::sampler::{derive_scene_seed, BatchReport, Sampler, SamplerConfig};
     pub use scenic_core::scene::{Scene, SceneObject};

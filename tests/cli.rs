@@ -613,3 +613,58 @@ fn bench_pool_reports_both_strategies() {
     }
     assert!(text.contains("scoped") && text.contains("pool"), "{text}");
 }
+
+#[test]
+fn engine_ast_output_is_byte_identical_to_compiled_default() {
+    // The compiled engine (the default) must sample the exact scenes
+    // the reference interpreter samples — `--engine` only changes how
+    // fast candidates evaluate, never what comes out.
+    let path = bundled("gta_oncoming.scenic");
+    let base = [
+        "sample",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--seed",
+        "6",
+        "-n",
+        "2",
+        "--jobs",
+        "2",
+    ];
+    let compiled = run(&base);
+    let mut with_ast = base.to_vec();
+    with_ast.extend(["--engine", "ast"]);
+    let ast = run(&with_ast);
+    assert!(compiled.status.success(), "{}", stderr(&compiled));
+    assert!(ast.status.success(), "{}", stderr(&ast));
+    assert_eq!(stdout(&compiled), stdout(&ast));
+}
+
+#[test]
+fn engine_shows_in_stats_and_bogus_engine_is_rejected() {
+    let path = write_scenario("eng.scenic", "ego = Object at 0 @ 0\n");
+    let out = run(&[
+        "sample",
+        path.to_str().unwrap(),
+        "--world",
+        "bare",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("engine: compiled"),
+        "{}",
+        stderr(&out)
+    );
+    let bad = run(&[
+        "sample",
+        path.to_str().unwrap(),
+        "--world",
+        "bare",
+        "--engine",
+        "jit",
+    ]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(stderr(&bad).contains("unknown engine"), "{}", stderr(&bad));
+}

@@ -1,0 +1,223 @@
+//! Differential testing of the compiled draw path against the reference
+//! tree-walking interpreter.
+//!
+//! The compiled engine's contract is *byte-identical output*: for any
+//! scenario, seed, and job count, `--engine=compiled` must produce the
+//! same scenes (and the same per-scene statistics) as `--engine=ast`,
+//! because every lowering step — constant folding, prefix hoisting,
+//! construction staging — is RNG-stream preserving. These tests compare
+//! the two engines over every bundled scenario and over randomized
+//! seeds; any divergence is a lowering bug, not a tolerance issue.
+
+use proptest::prelude::*;
+use scenic::gta::{MapConfig, World};
+use scenic::prelude::*;
+
+/// FNV-1a (64-bit) over one scene's canonical JSON.
+fn fnv(mut hash: u64, scene: &Scene) -> u64 {
+    for byte in scene.to_json().bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// FNV-1a over the concatenated JSON of a whole batch.
+fn batch_digest(scenes: &[Scene]) -> u64 {
+    scenes.iter().fold(0xcbf2_9ce4_8422_2325, fnv)
+}
+
+/// Loads a bundled scenario file from `scenarios/`.
+fn bundled(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn compile_bundled(name: &str, world: &str) -> scenic::core::Scenario {
+    use std::sync::OnceLock;
+    static GTA: OnceLock<scenic::core::World> = OnceLock::new();
+    static MARS: OnceLock<scenic::core::World> = OnceLock::new();
+    static BARE: OnceLock<scenic::core::World> = OnceLock::new();
+    let source = bundled(name);
+    let w = match world {
+        "gta" => GTA.get_or_init(|| World::generate(MapConfig::default()).core().clone()),
+        "mars" => MARS.get_or_init(scenic::mars::world),
+        _ => BARE.get_or_init(scenic::core::World::bare),
+    };
+    compile_with_world(&source, w).expect("bundled scenario compiles")
+}
+
+/// Every bundled scenario with its world.
+const BUNDLED: &[(&str, &str)] = &[
+    ("simplest.scenic", "gta"),
+    ("two_cars.scenic", "gta"),
+    ("badly_parked.scenic", "gta"),
+    ("gta_intersection.scenic", "gta"),
+    ("gta_oncoming.scenic", "gta"),
+    ("mars_bottleneck.scenic", "mars"),
+    ("mars_formation.scenic", "mars"),
+];
+
+#[test]
+fn engines_agree_on_every_bundled_scenario_and_job_count() {
+    for (name, world) in BUNDLED {
+        let scenario = compile_bundled(name, world);
+        for jobs in [1, 4] {
+            let ast = Sampler::new(&scenario)
+                .with_seed(7)
+                .with_engine(Engine::Ast)
+                .sample_batch(3, jobs)
+                .unwrap_or_else(|e| panic!("{name} (ast, jobs={jobs}): {e}"));
+            let compiled = Sampler::new(&scenario)
+                .with_seed(7)
+                .with_engine(Engine::Compiled)
+                .sample_batch(3, jobs)
+                .unwrap_or_else(|e| panic!("{name} (compiled, jobs={jobs}): {e}"));
+            assert_eq!(
+                batch_digest(&ast),
+                batch_digest(&compiled),
+                "{name}, jobs={jobs}: compiled engine diverged from the \
+                 AST reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_statistics_and_pruned_sampling() {
+    for (name, world) in BUNDLED {
+        let scenario = compile_bundled(name, world);
+        let mut ast = Sampler::new(&scenario)
+            .with_seed(11)
+            .with_engine(Engine::Ast)
+            .with_pruning();
+        let a = ast
+            .sample_batch_report(2, 2)
+            .unwrap_or_else(|e| panic!("{name} (ast): {e}"));
+        let mut compiled = Sampler::new(&scenario)
+            .with_seed(11)
+            .with_engine(Engine::Compiled)
+            .with_pruning();
+        let c = compiled
+            .sample_batch_report(2, 2)
+            .unwrap_or_else(|e| panic!("{name} (compiled): {e}"));
+        assert_eq!(
+            batch_digest(&a.scenes),
+            batch_digest(&c.scenes),
+            "{name}: engines diverge under prune guards"
+        );
+        assert_eq!(
+            a.per_scene, c.per_scene,
+            "{name}: engines count rejections differently"
+        );
+    }
+}
+
+/// The differential tests above would pass vacuously if the compiled
+/// engine silently fell back to the reference path everywhere; pin that
+/// the bundled scenarios actually take the hoisted fast path.
+#[test]
+fn bundled_scenarios_take_the_hoisted_path() {
+    for (name, world) in BUNDLED {
+        let scenario = compile_bundled(name, world);
+        assert!(
+            scenario.compiled().hoisted(),
+            "{name}: compiled engine fell back to the reference path"
+        );
+    }
+}
+
+/// A program whose user code shadows a name the library classes depend
+/// on must *not* hoist (the AST engine resolves the library's reference
+/// to the user's definition), but must still sample identically via the
+/// fallback.
+#[test]
+fn library_shadowing_disables_hoisting_but_stays_identical() {
+    let world = World::generate(MapConfig::default());
+    // gtaLib's Car defaults reference `roadDirection`; shadow it.
+    let source = "roadDirection = 0\nego = Object at 0 @ 0\n";
+    let scenario = compile_with_world(source, world.core()).unwrap();
+    assert!(
+        !scenario.compiled().hoisted(),
+        "shadowing a library name must disqualify hoisting"
+    );
+    let a = Sampler::new(&scenario)
+        .with_seed(3)
+        .with_engine(Engine::Ast)
+        .sample_batch(2, 1)
+        .unwrap();
+    let c = Sampler::new(&scenario)
+        .with_seed(3)
+        .with_engine(Engine::Compiled)
+        .sample_batch(2, 1)
+        .unwrap();
+    assert_eq!(batch_digest(&a), batch_digest(&c));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized-seed differential check on the two scenario families
+    /// with the richest draw paths (field-following roads and
+    /// multi-object formations).
+    #[test]
+    fn engines_agree_on_random_seeds(seed in 0u64..1_000_000) {
+        for (name, world) in [("gta_oncoming.scenic", "gta"), ("mars_formation.scenic", "mars")] {
+            let scenario = compile_bundled(name, world);
+            let a = Sampler::new(&scenario)
+                .with_seed(seed)
+                .with_engine(Engine::Ast)
+                .sample_batch(1, 1)
+                .unwrap();
+            let c = Sampler::new(&scenario)
+                .with_seed(seed)
+                .with_engine(Engine::Compiled)
+                .sample_batch(1, 1)
+                .unwrap();
+            prop_assert_eq!(batch_digest(&a), batch_digest(&c));
+        }
+    }
+
+    /// The grid-indexed `Region::contains` must agree with a linear scan
+    /// over the region's polygons at every probe point, including on
+    /// box edges and far outside the indexed bounds.
+    #[test]
+    fn indexed_region_contains_matches_linear_scan(
+        layout_seed in 0u64..1_000_000,
+        n_rects in 1usize..12,
+    ) {
+        use rand::{Rng, SeedableRng};
+        use scenic::geom::{Heading, Vec2, VectorField};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(layout_seed);
+        let polys: Vec<Polygon> = (0..n_rects)
+            .map(|_| {
+                let x = rng.gen_range(-40.0..40.0);
+                let y = rng.gen_range(-40.0..40.0);
+                let w = rng.gen_range(0.5..25.0);
+                let h = rng.gen_range(0.5..25.0);
+                Polygon::rectangle(Vec2::new(x, y), w, h)
+            })
+            .collect();
+        let probes: Vec<(f64, f64)> = (0..32)
+            .map(|_| (rng.gen_range(-60.0..60.0), rng.gen_range(-60.0..60.0)))
+            .collect();
+        let region = Region::polygons_with_orientation(
+            polys.clone(),
+            VectorField::Constant(Heading::NORTH),
+        );
+        let mut points: Vec<Vec2> = probes.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        // Degenerate probes: exact corners and box-edge midpoints.
+        for p in &polys {
+            points.extend(p.vertices().iter().copied());
+            let bb = p.aabb();
+            points.push(Vec2::new(bb.min.x, (bb.min.y + bb.max.y) / 2.0));
+            points.push(Vec2::new(bb.max.x, bb.min.y));
+        }
+        for p in points {
+            let linear = polys.iter().any(|poly| poly.contains(p));
+            prop_assert_eq!(region.contains(p), linear);
+        }
+    }
+}
