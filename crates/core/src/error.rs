@@ -129,6 +129,15 @@ pub enum ScenicError {
         /// Source line, when known.
         line: u32,
     },
+    /// A sampler worker thread panicked (an interpreter bug, not a
+    /// property of the scenario). Surfaced as an error instead of
+    /// poisoning the calling thread so long-running drivers — the
+    /// `scenicd` daemon in particular — can return a structured reply
+    /// and keep serving other requests.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl ScenicError {
@@ -201,6 +210,9 @@ impl fmt::Display for ScenicError {
             }
             ScenicError::Runtime { message, line } => {
                 write!(f, "runtime error at line {line}: {message}")
+            }
+            ScenicError::WorkerPanic { message } => {
+                write!(f, "sampler worker thread panicked: {message}")
             }
         }
     }

@@ -162,8 +162,53 @@ impl WorkerPool {
     /// # Panics
     ///
     /// Re-raises the panic of any panicking task (after all tasks have
-    /// finished, so the pool is left quiescent).
+    /// finished, so the pool is left quiescent). Long-running callers
+    /// that must survive worker panics use [`WorkerPool::try_execute`].
     pub fn execute<T, F>(&self, tasks: usize, worker: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        self.run(tasks, worker)
+            .into_iter()
+            .map(|result| match result {
+                Ok(value) => value,
+                Err(panic) => resume_unwind(panic),
+            })
+            .collect()
+    }
+
+    /// Like [`WorkerPool::execute`], but a panicking task yields an
+    /// `Err` with the panic message instead of re-raising the panic on
+    /// the calling thread. All tasks still run to completion first, so
+    /// the pool is quiescent either way — this is the entry point for
+    /// callers (the sampler, and through it the `scenicd` daemon) that
+    /// must report a structured error and keep serving.
+    ///
+    /// # Errors
+    ///
+    /// The message of the first (lowest-index) panicking task; string
+    /// payloads are passed through, anything else reports as an opaque
+    /// panic.
+    pub fn try_execute<T, F>(&self, tasks: usize, worker: F) -> Result<Vec<T>, String>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        let mut out = Vec::with_capacity(tasks);
+        for result in self.run(tasks, worker) {
+            match result {
+                Ok(value) => out.push(value),
+                Err(panic) => return Err(panic_message(&*panic)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The shared fan-out core of [`WorkerPool::execute`] and
+    /// [`WorkerPool::try_execute`]: every task's outcome (value or
+    /// caught panic payload) in task-index order.
+    fn run<T, F>(&self, tasks: usize, worker: F) -> Vec<std::thread::Result<T>>
     where
         T: Send + 'static,
         F: Fn(usize) -> T + Send + Sync + 'static,
@@ -195,11 +240,21 @@ impl WorkerPool {
         }
         slots
             .into_iter()
-            .map(|slot| match slot.expect("every task reported") {
-                Ok(value) => value,
-                Err(panic) => resume_unwind(panic),
-            })
+            .map(|slot| slot.expect("every task reported"))
             .collect()
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload
+/// (`panic!("...")` and `assert!` produce `&str` or `String` payloads;
+/// anything else is opaque).
+pub fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -279,6 +334,30 @@ mod tests {
         assert!(result.is_err(), "panic did not propagate");
         // The pool still works afterwards.
         assert_eq!(pool.execute(3, |task| task), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_execute_surfaces_panic_as_err_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let result = pool.try_execute(4, |task| {
+            assert!(task != 2, "task 2 exploded");
+            task
+        });
+        let message = result.expect_err("panic should surface as Err");
+        assert!(message.contains("task 2 exploded"), "{message}");
+        // The pool keeps serving — no thread was lost, nothing poisoned.
+        assert_eq!(pool.try_execute(3, |task| task), Ok(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn try_execute_reports_lowest_index_panic() {
+        let pool = WorkerPool::new(3);
+        let message = pool
+            .try_execute(4, |task| {
+                assert!(task == 0, "task {task} exploded");
+            })
+            .expect_err("panics should surface as Err");
+        assert!(message.contains("task 1 exploded"), "{message}");
     }
 
     #[test]

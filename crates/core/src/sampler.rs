@@ -207,10 +207,16 @@ struct BatchShared {
     /// Active §5.2 prune guards, shared by every worker.
     prune: Option<Arc<PrunePlan>>,
     root_seed: u64,
+    /// Absolute scene index of the batch's first slot: slot `i` draws
+    /// from `derive_scene_seed(root_seed, start + i)`, so a ranged
+    /// batch reproduces exactly the scenes a full batch would put at
+    /// those indices (see [`Sampler::sample_batch_report_range`]).
+    start: usize,
     n: usize,
-    /// Next unclaimed scene index (dynamic work pulling).
+    /// Next unclaimed scene slot (dynamic work pulling; relative to
+    /// `start`).
     next_index: AtomicUsize,
-    /// Lowest failing scene index seen so far (`usize::MAX` = none).
+    /// Lowest failing scene slot seen so far (`usize::MAX` = none).
     first_error: AtomicUsize,
 }
 
@@ -227,7 +233,7 @@ fn drain_batch(shared: &BatchShared) -> IndexedOutcomes {
         if index >= shared.n || index > shared.first_error.load(Ordering::Acquire) {
             break;
         }
-        let seed = derive_scene_seed(shared.root_seed, index as u64);
+        let seed = derive_scene_seed(shared.root_seed, (shared.start + index) as u64);
         let outcome = sample_scene(
             &shared.scenario,
             shared.config,
@@ -541,6 +547,32 @@ impl<'s> Sampler<'s> {
         self.sample_batch_report_with(WorkerPool::global(), n, jobs)
     }
 
+    /// Samples the scenes a full batch would put at indices
+    /// `start..start + count`, without computing the earlier ones:
+    /// slot `i` of the result is byte-identical to scene `start + i` of
+    /// `sample_batch(start + count, jobs)`. This is how a streaming
+    /// driver (the `scenicd` daemon) delivers a large batch
+    /// incrementally — chunked ranged calls reproduce exactly the
+    /// scenes of one big call, in any chunking, for any `jobs`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sampler::sample_batch`], relative to this range.
+    pub fn sample_batch_report_range(
+        &mut self,
+        start: usize,
+        count: usize,
+        jobs: usize,
+    ) -> RunResult<BatchReport> {
+        let jobs = jobs.clamp(1, count.max(1));
+        let slots = if jobs == 1 {
+            self.batch_serial(start, count)
+        } else {
+            self.batch_pooled(WorkerPool::global(), start, count, jobs)?
+        };
+        self.reduce(count, slots)
+    }
+
     /// Like [`Sampler::sample_batch_report`], but on a caller-supplied
     /// [`WorkerPool`] instead of the shared global one (isolation for
     /// tests, or dedicated pools per subsystem). The pool grows to
@@ -558,9 +590,9 @@ impl<'s> Sampler<'s> {
     ) -> RunResult<BatchReport> {
         let jobs = jobs.clamp(1, n.max(1));
         let slots = if jobs == 1 {
-            self.batch_serial(n)
+            self.batch_serial(0, n)
         } else {
-            self.batch_pooled(pool, n, jobs)
+            self.batch_pooled(pool, 0, n, jobs)?
         };
         self.reduce(n, slots)
     }
@@ -586,9 +618,9 @@ impl<'s> Sampler<'s> {
     pub fn sample_batch_report_scoped(&mut self, n: usize, jobs: usize) -> RunResult<BatchReport> {
         let jobs = jobs.clamp(1, n.max(1));
         let slots = if jobs == 1 {
-            self.batch_serial(n)
+            self.batch_serial(0, n)
         } else {
-            self.batch_scoped(n, jobs)
+            self.batch_scoped(n, jobs)?
         };
         self.reduce(n, slots)
     }
@@ -621,14 +653,16 @@ impl<'s> Sampler<'s> {
         Ok(report)
     }
 
-    /// The shared worker state for one batch over scenes `0..n`.
-    fn batch_shared(&self, n: usize) -> BatchShared {
+    /// The shared worker state for one batch over scenes
+    /// `start..start + n`.
+    fn batch_shared(&self, start: usize, n: usize) -> BatchShared {
         BatchShared {
             scenario: self.scenario.clone(),
             config: self.config,
             engine: self.engine,
             prune: self.prune.clone(),
             root_seed: self.root_seed,
+            start,
             n,
             next_index: AtomicUsize::new(0),
             first_error: AtomicUsize::new(usize::MAX),
@@ -649,10 +683,10 @@ impl<'s> Sampler<'s> {
 
     /// In-thread batch: identical semantics to the parallel paths, with
     /// early exit at the first error.
-    fn batch_serial(&self, n: usize) -> Vec<BatchSlot> {
+    fn batch_serial(&self, start: usize, n: usize) -> Vec<BatchSlot> {
         let mut slots: Vec<BatchSlot> = Vec::new();
         for index in 0..n {
-            let seed = derive_scene_seed(self.root_seed, index as u64);
+            let seed = derive_scene_seed(self.root_seed, (start + index) as u64);
             let outcome = sample_scene(
                 self.scenario,
                 self.config,
@@ -669,9 +703,12 @@ impl<'s> Sampler<'s> {
         slots
     }
 
-    /// Per-call scoped threads, all running [`drain_batch`].
-    fn batch_scoped(&self, n: usize, jobs: usize) -> Vec<BatchSlot> {
-        let shared = self.batch_shared(n);
+    /// Per-call scoped threads, all running [`drain_batch`]. A worker
+    /// panic (an interpreter bug) surfaces as
+    /// [`ScenicError::WorkerPanic`] instead of poisoning the caller, so
+    /// long-running drivers keep serving.
+    fn batch_scoped(&self, n: usize, jobs: usize) -> RunResult<Vec<BatchSlot>> {
+        let shared = self.batch_shared(0, n);
         let results = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..jobs)
                 .map(|_| {
@@ -681,20 +718,33 @@ impl<'s> Sampler<'s> {
                 .collect();
             workers
                 .into_iter()
-                .map(|worker| worker.join().expect("batch worker panicked"))
-                .collect()
-        });
-        Self::fill_slots(n, results)
+                .map(|worker| {
+                    worker.join().map_err(|panic| ScenicError::WorkerPanic {
+                        message: crate::pool::panic_message(&*panic),
+                    })
+                })
+                .collect::<RunResult<Vec<_>>>()
+        })?;
+        Ok(Self::fill_slots(n, results))
     }
 
     /// Persistent-pool dispatch: `jobs` copies of [`drain_batch`] on the
     /// pool (one inline on this thread), no thread spawned after the
-    /// pool's first growth to this concurrency.
-    fn batch_pooled(&self, pool: &WorkerPool, n: usize, jobs: usize) -> Vec<BatchSlot> {
-        let shared = Arc::new(self.batch_shared(n));
+    /// pool's first growth to this concurrency. Worker panics surface
+    /// as [`ScenicError::WorkerPanic`], same as the scoped path.
+    fn batch_pooled(
+        &self,
+        pool: &WorkerPool,
+        start: usize,
+        n: usize,
+        jobs: usize,
+    ) -> RunResult<Vec<BatchSlot>> {
+        let shared = Arc::new(self.batch_shared(start, n));
         let worker_shared = Arc::clone(&shared);
-        let results = pool.execute(jobs, move |_| drain_batch(&worker_shared));
-        Self::fill_slots(n, results)
+        let results = pool
+            .try_execute(jobs, move |_| drain_batch(&worker_shared))
+            .map_err(|message| ScenicError::WorkerPanic { message })?;
+        Ok(Self::fill_slots(n, results))
     }
 }
 
@@ -769,6 +819,37 @@ mod tests {
         assert_eq!(report.per_scene.len(), 4);
         assert_eq!(sampler.stats(), report.total_stats());
         assert_eq!(sampler.stats().scenes, 4);
+    }
+
+    #[test]
+    fn chunked_ranges_reassemble_the_full_batch() {
+        let scenario = crate::compile("ego = Object at 0 @ 0\nObject at 0 @ (4, 9)\n").unwrap();
+        let full = Sampler::new(&scenario)
+            .with_seed(11)
+            .sample_batch_report(7, 3)
+            .unwrap();
+        // Any chunking — even mixed serial/parallel chunks — must
+        // reproduce the same scenes and per-scene statistics.
+        for chunks in [
+            vec![(0, 7)],
+            vec![(0, 3), (3, 3), (6, 1)],
+            vec![(0, 1), (1, 6)],
+        ] {
+            let mut sampler = Sampler::new(&scenario).with_seed(11);
+            let mut scenes = Vec::new();
+            let mut per_scene = Vec::new();
+            for (start, count) in chunks {
+                let part = sampler
+                    .sample_batch_report_range(start, count, 2)
+                    .unwrap_or_else(|e| panic!("range {start}+{count}: {e}"));
+                scenes.extend(part.scenes);
+                per_scene.extend(part.per_scene);
+            }
+            let a: Vec<String> = full.scenes.iter().map(Scene::to_json).collect();
+            let b: Vec<String> = scenes.iter().map(Scene::to_json).collect();
+            assert_eq!(a, b, "chunked ranges drifted from the full batch");
+            assert_eq!(full.per_scene, per_scene);
+        }
     }
 
     #[test]

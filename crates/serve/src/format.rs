@@ -1,0 +1,64 @@
+//! Scene output rendering shared by the CLI and the daemon.
+//!
+//! The determinism contract requires `scenic client sample` to be
+//! **byte-identical** to `scenic sample` for the same request — which
+//! only holds if both sides render scenes through the same code. This
+//! module is that single implementation; the CLI's `sample` command and
+//! the daemon's streaming reply both call [`render_scene`].
+
+use scenic_core::scene::Scene;
+
+/// Renders one scene in an output format: `json` (the canonical
+/// simulator-interface serialization), `gta` (GTA-V plugin JSON
+/// lines), `wbt` (Webots world), or anything else as the human-readable
+/// summary listing every object.
+#[must_use]
+pub fn render_scene(scene: &Scene, format: &str) -> String {
+    match format {
+        "json" => scene.to_json(),
+        "gta" => scenic_sim::to_gta_json_lines(scene),
+        "wbt" => scenic_sim::to_webots_world(scene),
+        _ => {
+            let mut out = String::new();
+            for obj in &scene.objects {
+                let tag = if obj.is_ego { " (ego)" } else { "" };
+                out.push_str(&format!(
+                    "{}{tag} at ({:.2}, {:.2}) facing {:.1}°, {:.1}×{:.1} m\n",
+                    obj.class,
+                    obj.position[0],
+                    obj.position[1],
+                    obj.heading.to_degrees(),
+                    obj.width,
+                    obj.height,
+                ));
+            }
+            out
+        }
+    }
+}
+
+/// The file extension `--out` writes for each format.
+#[must_use]
+pub fn file_extension(format: &str) -> &'static str {
+    match format {
+        "json" => "json",
+        "gta" => "gta.jsonl",
+        "wbt" => "wbt",
+        _ => "txt",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_lists_every_object() {
+        let scenario = scenic_core::compile("ego = Object at 0 @ 0\nObject at 0 @ 5\n").unwrap();
+        let scene = scenario.generate_seeded(3).unwrap();
+        let summary = render_scene(&scene, "summary");
+        assert_eq!(summary.lines().count(), 2);
+        assert!(summary.contains("(ego)"));
+        assert_eq!(render_scene(&scene, "json"), scene.to_json());
+    }
+}

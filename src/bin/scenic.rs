@@ -12,6 +12,8 @@
 //!               [--repeat R] [--format json|gta|wbt|summary]
 //!               [--out DIR] [--stats]
 //! scenic bench-pool <file>... [--world W] [--jobs J] [--seed S]
+//! scenic serve  [--host H] [--port P]
+//! scenic client <action> [<file>...] [--addr HOST:PORT] [sample options]
 //! ```
 //!
 //! `check` parses, compiles, and runs the static analyzer (reporting
@@ -35,6 +37,14 @@
 //! `bench-pool` measures what the persistent worker pool buys: it times
 //! `sample_batch` per call under the scoped-spawn strategy (fresh
 //! threads per call) and the persistent pool, at batch sizes 1/8/64.
+//!
+//! `serve` runs `scenicd`, the long-running scenario daemon: one shared
+//! worker pool and compiled-scenario cache serve every client, and
+//! sampled scenes stream back as they complete. `client` talks to it;
+//! `scenic client sample` output is **byte-identical** to
+//! `scenic sample` for the same scenario, seed, and format (both render
+//! through [`scenic::serve::format`], and scene RNG streams depend only
+//! on the seed and scene index).
 
 use scenic::core::compile::Engine;
 use scenic::core::diag::{render_json, render_line, render_text, Diagnostic, Severity};
@@ -42,8 +52,12 @@ use scenic::core::prune::{PruneDecision, PrunePlan};
 use scenic::core::sampler::{Sampler, SamplerConfig, SamplerStats};
 use scenic::core::{analyze, compile_with_world, PruneParams, ScenarioCache, ScenicError, World};
 use scenic::prelude::{Scene, Vec2};
+use scenic::serve::format::{file_extension, render_scene};
+use scenic::serve::proto::{Request, Response, SampleRequest};
+use scenic::serve::{Client, ClientError, Server};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A run-time failure: scenic-language errors carry the file and source
 /// so `main` can render them through the diagnostics renderer; anything
@@ -86,6 +100,9 @@ usage:
                 [--min-radius R] [--heading LO,HI] [--heading-tolerance D]
                 [--max-distance M] [--min-width W]
   scenic bench-pool <file>... [--world gta|mars|bare] [--jobs J] [--seed S]
+  scenic serve  [--host H] [--port P]
+  scenic client <action> [<file>...] [--addr HOST:PORT]
+                [sample/lint options]
 
 options:
   --world W     world/library to compile against (default: gta)
@@ -124,6 +141,22 @@ enabling orientation pruning), --heading-tolerance (deg),
 
 `bench-pool` compares scoped-spawn vs persistent-pool batch sampling
 per call at batch sizes 1/8/64 (its --jobs defaults to 8).
+
+`serve` runs scenicd, the long-running scenario daemon (--host default
+127.0.0.1, --port default 7907): all clients share one worker pool and
+one compiled-scenario cache, and sampled scenes stream back as they
+complete. `client` sends one action to a running daemon:
+  scenic client sample <file>...   sample via the daemon; output is
+                byte-identical to `scenic sample` for the same options
+                (-n, --seed, --jobs, --repeat, --prune, --engine,
+                --format all apply; --timeout-ms sets the daemon-side
+                request deadline)
+  scenic client compile <file>...  warm the daemon's scenario cache
+  scenic client lint <file>...     lint via the daemon
+  scenic client status             summary daemon statistics
+  scenic client stats              statistics with per-scenario rows
+  scenic client health             liveness probe
+  scenic client shutdown           graceful daemon shutdown
 ";
 
 struct Options {
@@ -154,6 +187,14 @@ struct Options {
     heading_tolerance: Option<f64>,
     max_distance: Option<f64>,
     min_width: Option<f64>,
+    /// `serve` bind host.
+    host: String,
+    /// `serve` bind port.
+    port: u16,
+    /// `client` daemon address.
+    addr: String,
+    /// `client sample` daemon-side request deadline override.
+    timeout_ms: Option<u64>,
 }
 
 fn default_jobs() -> usize {
@@ -188,6 +229,10 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         heading_tolerance: None,
         max_distance: None,
         min_width: None,
+        host: "127.0.0.1".into(),
+        port: 7907,
+        addr: "127.0.0.1:7907".into(),
+        timeout_ms: None,
     };
     let mut args = args.peekable();
     let mut format_given = false;
@@ -281,14 +326,32 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                         .map_err(|_| "--min-width needs a number (meters)")?,
                 );
             }
+            "--host" => options.host = take("--host")?,
+            "--port" => {
+                options.port = take("--port")?
+                    .parse()
+                    .map_err(|_| "--port needs a port number")?;
+            }
+            "--addr" => options.addr = take("--addr")?,
+            "--timeout-ms" => {
+                options.timeout_ms = Some(
+                    take("--timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--timeout-ms needs a number (milliseconds)")?,
+                );
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
             _ => options.files.push(arg),
         }
     }
-    if options.files.is_empty() {
-        return Err("missing input file".into());
+    if options.files.is_empty() && options.command != "serve" {
+        return Err(if options.command == "client" {
+            "client needs an action (sample, compile, lint, status, stats, health, shutdown)".into()
+        } else {
+            "missing input file".into()
+        });
     }
     if !matches!(options.world.as_str(), "gta" | "mars" | "bare") {
         return Err(format!(
@@ -360,39 +423,6 @@ fn write_ppm(
     raster
         .save_ppm(path)
         .map_err(|e| format!("{}: {e}", path.display()))
-}
-
-fn render(scene: &Scene, format: &str) -> String {
-    match format {
-        "json" => scene.to_json(),
-        "gta" => scenic::sim::to_gta_json_lines(scene),
-        "wbt" => scenic::sim::to_webots_world(scene),
-        _ => {
-            let mut out = String::new();
-            for obj in &scene.objects {
-                let tag = if obj.is_ego { " (ego)" } else { "" };
-                out.push_str(&format!(
-                    "{}{tag} at ({:.2}, {:.2}) facing {:.1}°, {:.1}×{:.1} m\n",
-                    obj.class,
-                    obj.position[0],
-                    obj.position[1],
-                    obj.heading.to_degrees(),
-                    obj.width,
-                    obj.height,
-                ));
-            }
-            out
-        }
-    }
-}
-
-fn file_extension(format: &str) -> &'static str {
-    match format {
-        "json" => "json",
-        "gta" => "gta.jsonl",
-        "wbt" => "wbt",
-        _ => "txt",
-    }
 }
 
 fn read_source(file: &str) -> Result<String, String> {
@@ -470,7 +500,7 @@ fn sample_round(
         println!("=== {file} (round {rep}, seed {seed}) ===");
     }
     for (i, scene) in scenes.iter().enumerate() {
-        let text = render(scene, &options.format);
+        let text = render_scene(scene, &options.format);
         match &options.out {
             Some(dir) => {
                 let path = std::path::Path::new(dir).join(format!(
@@ -695,6 +725,191 @@ fn prune_report(options: &Options, world: &LoadedWorld) -> Result<(), CliError> 
     Ok(())
 }
 
+fn client_err(e: ClientError) -> CliError {
+    CliError::Other(e.to_string())
+}
+
+/// `serve`: run the scenicd daemon on the calling thread until a client
+/// asks it to shut down.
+fn serve(options: &Options) -> Result<ExitCode, CliError> {
+    let addr = format!("{}:{}", options.host, options.port);
+    let server = Server::bind(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    // Scripts (and the CI smoke test) parse this line for the port, so
+    // it must hit the pipe before the accept loop blocks.
+    println!("scenicd listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| e.to_string())?;
+    eprintln!("scenicd: shut down");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Print a chunk of streamed output, exiting quietly if the reader
+/// went away. Scenes arrive over seconds, so a downstream
+/// `| head`-style consumer routinely closes the pipe mid-stream; that
+/// is a normal end of output (exit 0, like other Unix streamers), not
+/// a panic.
+fn stream_print(text: std::fmt::Arguments) {
+    use std::io::Write as _;
+    if let Err(e) = std::io::stdout().write_fmt(text) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        panic!("failed printing to stdout: {e}");
+    }
+}
+
+/// `client sample`: stream batches from the daemon, printing exactly
+/// what `scenic sample` prints for the same options (same separators,
+/// same renderer, same per-round seeds) — byte-identical output.
+fn client_sample(options: &Options, client: &mut Client, files: &[String]) -> Result<(), CliError> {
+    let multi_file = files.len() > 1;
+    for file in files {
+        let source = read_source(file)?;
+        for rep in 0..options.repeat {
+            let seed = options.seed.wrapping_add(rep as u64);
+            if options.format == "summary" && (multi_file || options.repeat > 1) {
+                stream_print(format_args!("=== {file} (round {rep}, seed {seed}) ===\n"));
+            }
+            let request = SampleRequest {
+                source: source.clone(),
+                world: options.world.clone(),
+                name: file_stem(file),
+                n: options.n,
+                seed,
+                jobs: options.jobs.unwrap_or(0),
+                prune: options.prune,
+                engine: options.engine.to_string(),
+                format: options.format.clone(),
+                timeout_ms: options.timeout_ms,
+            };
+            client
+                .sample(&request, |i, text| {
+                    if options.n > 1 && options.format == "summary" {
+                        stream_print(format_args!("--- scene {i} ---\n"));
+                    }
+                    stream_print(format_args!("{text}"));
+                })
+                .map_err(client_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// `client`: one action against a running daemon.
+fn client_command(options: &Options) -> Result<ExitCode, CliError> {
+    let (action, files) = options
+        .files
+        .split_first()
+        .expect("parse_args requires an action");
+    let mut client = Client::connect_retry(options.addr.as_str(), Duration::from_secs(5))
+        .map_err(|e| format!("{}: {e}", options.addr))?;
+    match action.as_str() {
+        "sample" => {
+            if files.is_empty() {
+                return Err("client sample needs at least one file".to_string().into());
+            }
+            client_sample(options, &mut client, files)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "compile" => {
+            if files.is_empty() {
+                return Err("client compile needs at least one file".to_string().into());
+            }
+            for file in files {
+                let source = read_source(file)?;
+                match client
+                    .request(&Request::Compile {
+                        source,
+                        world: options.world.clone(),
+                    })
+                    .map_err(client_err)?
+                {
+                    Response::Compiled {
+                        cached,
+                        source_hash,
+                    } => println!(
+                        "{file}: compiled ({}, hash {source_hash:016x})",
+                        if cached { "cache hit" } else { "cached now" },
+                    ),
+                    other => return Err(format!("unexpected daemon reply: {other:?}").into()),
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "lint" => {
+            if files.is_empty() {
+                return Err("client lint needs at least one file".to_string().into());
+            }
+            let mut any_error = false;
+            for file in files {
+                let source = read_source(file)?;
+                match client
+                    .request(&Request::Lint {
+                        file: file.clone(),
+                        source,
+                        world: options.world.clone(),
+                    })
+                    .map_err(client_err)?
+                {
+                    Response::Lint {
+                        text,
+                        errors,
+                        warnings,
+                        infos,
+                    } => {
+                        print!("{text}");
+                        eprintln!(
+                            "{file}: {errors} error(s), {warnings} warning(s), {infos} note(s)"
+                        );
+                        any_error |= errors > 0;
+                    }
+                    other => return Err(format!("unexpected daemon reply: {other:?}").into()),
+                }
+            }
+            Ok(if any_error {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "status" | "stats" => {
+            let stats = client.stats(action == "stats").map_err(client_err)?;
+            println!(
+                "scenicd up {:.1} s: {} request(s), {} in flight, {} scene(s) served",
+                stats.uptime_ms as f64 / 1000.0,
+                stats.requests,
+                stats.in_flight,
+                stats.scenes_served,
+            );
+            println!(
+                "cache: {} scenario(s), {} hit(s), {} miss(es); {} protocol error(s)",
+                stats.cache_entries, stats.cache_hits, stats.cache_misses, stats.protocol_errors,
+            );
+            for (name, scenes) in &stats.per_scenario {
+                println!("  {name}: {scenes} scene(s)");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "health" => {
+            let uptime_ms = client.health().map_err(client_err)?;
+            println!("ok (up {uptime_ms} ms)");
+            Ok(ExitCode::SUCCESS)
+        }
+        "shutdown" => {
+            client.shutdown().map_err(client_err)?;
+            println!("scenicd shutting down");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown client action `{other}` (expected sample, compile, lint, status, stats, \
+             health, or shutdown)"
+        )
+        .into()),
+    }
+}
+
 fn run(options: &Options) -> Result<ExitCode, CliError> {
     match options.command.as_str() {
         "print" => {
@@ -842,6 +1057,8 @@ fn run(options: &Options) -> Result<ExitCode, CliError> {
             bench_pool(options, &world)?;
             Ok(ExitCode::SUCCESS)
         }
+        "serve" => serve(options),
+        "client" => client_command(options),
         other => Err(CliError::Other(format!("unknown command `{other}`"))),
     }
 }

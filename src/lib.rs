@@ -21,7 +21,10 @@
 //!   average precision);
 //! - [`detect`]: the synthetic car detector standing in for squeezeDet,
 //!   with the training/evaluation harness behind §6's experiments;
-//! - [`mars`]: the Mars-rover robotics workspace of Fig. 4/§A.12.
+//! - [`mars`]: the Mars-rover robotics workspace of Fig. 4/§A.12;
+//! - [`serve`]: `scenicd`, a long-running scenario service sharing one
+//!   worker pool and compiled-scenario cache across clients over a
+//!   length-prefixed JSON protocol, with its client library.
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@ pub use scenic_geom as geom;
 pub use scenic_gta as gta;
 pub use scenic_lang as lang;
 pub use scenic_mars as mars;
+pub use scenic_serve as serve;
 pub use scenic_sim as sim;
 
 /// Convenient glob-import surface for examples and downstream users.
@@ -69,4 +73,5 @@ pub mod prelude {
     pub use scenic_core::scene::{Scene, SceneObject};
     pub use scenic_core::{compile, compile_with_world, ScenicError};
     pub use scenic_geom::{Heading, Polygon, Region, Vec2, VectorField};
+    pub use scenic_serve::{Client, SampleRequest, Server};
 }

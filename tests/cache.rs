@@ -114,6 +114,67 @@ fn private_pool_reports_match_scoped_reports() {
 }
 
 #[test]
+fn concurrent_clients_share_exactly_one_compilation() {
+    // The daemon shares one ScenarioCache across all connection
+    // handlers, so this is the serving layer's hot path: many clients
+    // requesting the same scenario at once must end up with the very
+    // same compiled Arc, after exactly one compilation entering the
+    // cache. A barrier releases all threads into get_or_compile at the
+    // same instant to make the race real.
+    const THREADS: usize = 8;
+    let cache = Arc::new(ScenarioCache::new());
+    let world = Arc::new(World::generate(MapConfig::default()).core().clone());
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let world = Arc::clone(&world);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut entries = Vec::new();
+                for _ in 0..16 {
+                    entries.push(
+                        cache
+                            .get_or_compile("gta", scenarios::SIMPLEST, &world)
+                            .expect("compiles"),
+                    );
+                }
+                entries
+            })
+        })
+        .collect();
+    let all: Vec<_> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("hammer thread"))
+        .collect();
+    let first = &all[0];
+    for (i, entry) in all.iter().enumerate() {
+        assert!(
+            Arc::ptr_eq(first, entry),
+            "entry {i} is a different compilation: racing compiles must \
+             converge on one shared Arc"
+        );
+    }
+    assert_eq!(
+        cache.misses(),
+        1,
+        "racing compiles of one key must count exactly one miss \
+         (= one entry ever cached)"
+    );
+    assert_eq!(cache.len(), 1);
+    // Each call is a hit, the one counted miss, or a racing compile
+    // that lost the insert (counts neither; at most one per thread,
+    // since after the first insert every lookup hits).
+    assert!(
+        cache.hits() >= THREADS * 16 - THREADS && cache.hits() < THREADS * 16,
+        "hit count {} out of range for {} calls",
+        cache.hits(),
+        THREADS * 16
+    );
+}
+
+#[test]
 fn pooled_batch_error_matches_scoped_error() {
     // Unsatisfiable: two objects pinned to the same spot.
     let scenario = compile("ego = Object at 0 @ 0\nObject at 0 @ 0.5\n").unwrap();

@@ -668,3 +668,99 @@ fn engine_shows_in_stats_and_bogus_engine_is_rejected() {
     assert_eq!(bad.status.code(), Some(2));
     assert!(stderr(&bad).contains("unknown engine"), "{}", stderr(&bad));
 }
+
+// ---------------------------------------------------------------------
+// scenicd: the serve/client commands end to end, over a real subprocess
+// boundary (the in-process protocol tests live in tests/daemon.rs).
+// ---------------------------------------------------------------------
+
+/// Starts `scenic serve` on an ephemeral port and returns the child
+/// plus the address parsed from its announcement line.
+fn spawn_daemon() -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let mut child = Command::new(scenic_bin())
+        .args(["serve", "--port", "0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("launch scenic serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read announcement line");
+    let addr = line
+        .trim()
+        .strip_prefix("scenicd listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn serve_and_client_round_trip_byte_identically_with_direct_sampling() {
+    let (mut child, addr) = spawn_daemon();
+    let path = bundled("two_cars.scenic");
+    let base = [
+        path.to_str().unwrap(),
+        "--world",
+        "gta",
+        "-n",
+        "3",
+        "--seed",
+        "7",
+        "--jobs",
+        "2",
+        "--format",
+        "json",
+    ];
+    let mut client_args = vec!["client", "sample", "--addr", &addr];
+    client_args.extend(base);
+    let via_daemon = run(&client_args);
+    assert!(via_daemon.status.success(), "{}", stderr(&via_daemon));
+    let mut direct_args = vec!["sample"];
+    direct_args.extend(base);
+    let direct = run(&direct_args);
+    assert!(direct.status.success(), "{}", stderr(&direct));
+    assert_eq!(
+        stdout(&via_daemon),
+        stdout(&direct),
+        "daemon-served scenes must be byte-identical to `scenic sample`"
+    );
+
+    let health = run(&["client", "health", "--addr", &addr]);
+    assert!(health.status.success(), "{}", stderr(&health));
+    assert!(stdout(&health).starts_with("ok"), "{}", stdout(&health));
+
+    let stats = run(&["client", "stats", "--addr", &addr]);
+    assert!(stats.status.success(), "{}", stderr(&stats));
+    assert!(
+        stdout(&stats).contains("two_cars: 3 scene(s)"),
+        "{}",
+        stdout(&stats)
+    );
+
+    let shutdown = run(&["client", "shutdown", "--addr", &addr]);
+    assert!(shutdown.status.success(), "{}", stderr(&shutdown));
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status {status:?}");
+}
+
+#[test]
+fn client_without_daemon_fails_cleanly() {
+    // Port 9 (discard) is never a scenicd; connect_retry gives up fast
+    // on a refused connection.
+    let out = run(&["client", "health", "--addr", "127.0.0.1:9"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("error:"), "{}", stderr(&out));
+}
+
+#[test]
+fn client_needs_an_action() {
+    let out = run(&["client"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("client needs an action"),
+        "{}",
+        stderr(&out)
+    );
+}
