@@ -16,7 +16,7 @@ fn bench_detector(c: &mut Criterion) {
         b.iter(|| scenic_sim::render_scene(&scene));
     });
 
-    let train = Dataset::from_source(scenarios::TWO_CARS, world.core(), 100, 1).unwrap();
+    let train = Dataset::from_source(scenarios::TWO_CARS, world.core(), 100, 1, 4).unwrap();
     c.bench_function("train_detector_100_images", |b| {
         b.iter(|| Detector::train(&train.images));
     });

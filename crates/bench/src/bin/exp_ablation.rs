@@ -1,168 +1,12 @@
 //! Ablation study (DESIGN.md): which feature dimensions of the
 //! synthetic detector carry each experimental effect.
 //!
-//! Masks one feature family at a time (in both training and test
-//! labels) and re-measures the headline gaps:
+//! Thin wrapper over the shared harness: equivalent to
+//! `scenic exp ablation --scale S`, paper-style text on stdout.
 //!
-//! - masking **occlusion** should erase the Table 6/10 overlap gap;
-//! - masking **context** (time/weather) should shrink the §6.2
-//!   good-vs-bad-conditions gap to its intrinsic-difficulty floor;
-//! - masking **appearance** (model/color) should close part of the
-//!   Table 7 seed-variant spread.
-//!
-//! Run with `cargo run --release -p scenic-bench --bin exp_ablation
+//! Run with `cargo run --release -p scenic_bench --bin exp_ablation
 //! [scale]`.
 
-use scenic_bench::{header, scale_from_args, scaled, standard_world};
-use scenic_detect::{Dataset, Detector};
-use scenic_gta::scenarios;
-use scenic_sim::RenderedImage;
-
-fn mask_occlusion(images: &[RenderedImage]) -> Vec<RenderedImage> {
-    images
-        .iter()
-        .map(|img| {
-            let mut img = img.clone();
-            for car in &mut img.cars {
-                car.occlusion = 0.0;
-            }
-            img
-        })
-        .collect()
-}
-
-fn mask_context(images: &[RenderedImage]) -> Vec<RenderedImage> {
-    images
-        .iter()
-        .map(|img| {
-            let mut img = img.clone();
-            img.darkness = 0.0;
-            img.weather_severity = 0.0;
-            img
-        })
-        .collect()
-}
-
-fn mask_appearance(images: &[RenderedImage]) -> Vec<RenderedImage> {
-    images
-        .iter()
-        .map(|img| {
-            let mut img = img.clone();
-            for car in &mut img.cars {
-                car.model = "MASKED".to_string();
-                car.color = [0.5, 0.5, 0.5];
-            }
-            img
-        })
-        .collect()
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = scale_from_args();
-    header(
-        "Ablation: which detector features carry each effect",
-        "DESIGN.md §4 (design-choice ablations)",
-    );
-    let world = standard_world();
-    let n_train = scaled(400, scale);
-    let n_test = scaled(150, scale);
-
-    // --- occlusion ablation on the two-car vs overlap gap -----------
-    let train = Dataset::from_source(scenarios::TWO_CARS, world.core(), n_train, 1)?;
-    let t_overlap = Dataset::from_source(scenarios::TWO_OVERLAPPING, world.core(), n_test, 2)?;
-    let t_twocar = Dataset::from_source(scenarios::TWO_CARS, world.core(), n_test, 3)?;
-
-    let full = Detector::train(&train.images);
-    let gap_full =
-        full.evaluate(&t_twocar.images, 9).recall - full.evaluate(&t_overlap.images, 9).recall;
-
-    let masked_train = mask_occlusion(&train.images);
-    let masked = Detector::train(&masked_train);
-    let gap_masked = masked.evaluate(&mask_occlusion(&t_twocar.images), 9).recall
-        - masked
-            .evaluate(&mask_occlusion(&t_overlap.images), 9)
-            .recall;
-
-    println!();
-    println!("  occlusion ablation (two-car recall − overlap recall):");
-    println!("    full features : {gap_full:5.1} points");
-    println!("    occlusion off : {gap_masked:5.1} points");
-    println!(
-        "    → occlusion features carry the overlap gap: {}",
-        if gap_masked < gap_full * 0.5 {
-            "CONFIRMED"
-        } else {
-            "NOT CONFIRMED"
-        }
-    );
-
-    // --- context ablation on the §6.2 conditions gap -----------------
-    let mut gen_train = Dataset::default();
-    for k in 1..=2usize {
-        gen_train = gen_train.concat(&Dataset::from_source(
-            &scenarios::generic_n_cars(k),
-            world.core(),
-            n_train / 2,
-            10 + k as u64,
-        )?);
-    }
-    let t_good =
-        Dataset::from_source(&scenarios::generic_n_cars_good(2), world.core(), n_test, 20)?;
-    let t_bad = Dataset::from_source(&scenarios::generic_n_cars_bad(2), world.core(), n_test, 21)?;
-
-    let full = Detector::train(&gen_train.images);
-    let cond_gap_full =
-        full.evaluate(&t_good.images, 5).precision - full.evaluate(&t_bad.images, 5).precision;
-
-    let masked = Detector::train(&mask_context(&gen_train.images));
-    let cond_gap_masked = masked.evaluate(&mask_context(&t_good.images), 5).precision
-        - masked.evaluate(&mask_context(&t_bad.images), 5).precision;
-
-    println!();
-    println!("  context ablation (good-conditions precision − bad-conditions precision):");
-    println!("    full features : {cond_gap_full:5.1} points");
-    println!("    context off   : {cond_gap_masked:5.1} points");
-    println!(
-        "    → masking lighting/weather erases the §6.2 gap: {}",
-        if cond_gap_masked < cond_gap_full * 0.5 {
-            "CONFIRMED"
-        } else {
-            "NOT CONFIRMED"
-        }
-    );
-
-    // --- appearance ablation on the Table 7 seed spread --------------
-    let case = scenic_bench::seed_case::seed_case(&world);
-    let variants = case.variants();
-    let close_fixed = Dataset::from_source(&variants[3].1, world.core(), n_test, 30)?; // (4)
-    let close_varied = {
-        // (1) varies model and color at the seed position.
-        Dataset::from_source(&variants[0].1, world.core(), n_test.min(60), 31)?
-    };
-
-    let full = Detector::train(&gen_train.images);
-    let spread_full = full.evaluate(&close_varied.images, 6).precision
-        - full.evaluate(&close_fixed.images, 6).precision;
-
-    let masked = Detector::train(&mask_appearance(&gen_train.images));
-    let spread_masked = masked
-        .evaluate(&mask_appearance(&close_varied.images), 6)
-        .precision
-        - masked
-            .evaluate(&mask_appearance(&close_fixed.images), 6)
-            .precision;
-
-    println!();
-    println!("  appearance ablation (variant (1) precision − variant (4) precision):");
-    println!("    full features  : {spread_full:5.1} points");
-    println!("    appearance off : {spread_masked:5.1} points");
-    println!(
-        "    → model/color familiarity drives the Table 7 recovery: {}",
-        if spread_masked < spread_full * 0.5 {
-            "CONFIRMED"
-        } else {
-            "NOT CONFIRMED"
-        }
-    );
-    Ok(())
+    scenic_bench::harness::bin_main("ablation")
 }

@@ -1,45 +1,12 @@
 //! §6.2 "Testing under Different Conditions": evaluate M_generic on the
 //! generic, good-conditions, and bad-conditions test sets.
 //!
-//! Paper numbers: precision 83.1 / 85.7 / 72.8, recall 92.6 / 94.3 /
-//! 92.8 on T_generic / T_good / T_bad. The shape to reproduce: good ≥
-//! generic ≫ bad in precision, recall roughly flat.
+//! Thin wrapper over the shared harness: equivalent to
+//! `scenic exp conditions --scale S`, paper-style text on stdout.
 //!
-//! Run with `cargo run --release -p scenic-bench --bin exp_conditions
+//! Run with `cargo run --release -p scenic_bench --bin exp_conditions
 //! [scale]`.
 
-use scenic_bench::{experiments, header, scale_from_args, scaled, standard_world};
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = scale_from_args();
-    header(
-        "Experiment: testing under different conditions",
-        "§6.2 (precision 83.1/85.7/72.8, recall 92.6/94.3/92.8)",
-    );
-    let world = standard_world();
-    let train = scaled(250, scale);
-    let test = scaled(60, scale);
-    println!("training M_generic on 4 × {train} images; test sets 4 × {test} images each…");
-    let r = experiments::conditions(&world, train, test, 42)?;
-    println!();
-    println!("  test set    paper (P / R)   measured (P / R)");
-    println!(
-        "  T_generic   83.1 / 92.6     {:4.1} / {:4.1}",
-        r.generic.precision, r.generic.recall
-    );
-    println!(
-        "  T_good      85.7 / 94.3     {:4.1} / {:4.1}",
-        r.good.precision, r.good.recall
-    );
-    println!(
-        "  T_bad       72.8 / 92.8     {:4.1} / {:4.1}",
-        r.bad.precision, r.bad.recall
-    );
-    println!();
-    let shape_ok = r.bad.precision < r.good.precision && r.bad.precision < r.generic.precision;
-    println!(
-        "shape check (bad-conditions precision worst): {}",
-        if shape_ok { "HOLDS" } else { "VIOLATED" }
-    );
-    Ok(())
+    scenic_bench::harness::bin_main("conditions")
 }

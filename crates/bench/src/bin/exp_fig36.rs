@@ -1,57 +1,12 @@
 //! Fig. 36: distribution of the pairwise ground-truth IoU in the
-//! two-car vs overlapping training sets (log-scale histogram).
+//! two-car vs overlapping training sets (Appendix D).
 //!
-//! Shape: the generic set is concentrated at IoU ≈ 0; the overlapping
-//! set has substantially more mass at positive IoU ("the overlapping
-//! car images are highly untypical of generic two-car images").
+//! Thin wrapper over the shared harness: equivalent to
+//! `scenic exp fig36 --scale S`, paper-style text on stdout.
 //!
-//! Run with `cargo run --release -p scenic-bench --bin exp_fig36
+//! Run with `cargo run --release -p scenic_bench --bin exp_fig36
 //! [scale]`.
 
-use scenic_bench::{experiments, header, scale_from_args, scaled, standard_world};
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = scale_from_args();
-    header(
-        "Experiment: IoU distribution of training sets (Fig. 36)",
-        "Appendix D Fig. 36",
-    );
-    let world = standard_world();
-    let images = scaled(500, scale);
-    println!("{images} images per set…");
-    let h = experiments::iou_histogram(&world, images, 36)?;
-    println!();
-    println!("  IoU bin     X_twocar  X_overlap   log10 bars (# = twocar, * = overlap)");
-    for i in 0..h.edges.len() {
-        let lo = h.edges[i];
-        let bar = |count: usize, ch: char| -> String {
-            let log = if count == 0 {
-                0.0
-            } else {
-                (count as f64).log10() + 1.0
-            };
-            std::iter::repeat_n(ch, (log * 6.0) as usize).collect()
-        };
-        println!(
-            "  {:.2}–{:.2}   {:8}  {:8}    {} | {}",
-            lo,
-            lo + 0.05,
-            h.twocar[i],
-            h.overlap[i],
-            bar(h.twocar[i], '#'),
-            bar(h.overlap[i], '*'),
-        );
-    }
-    println!();
-    let two_tail: usize = h.twocar.iter().skip(2).sum();
-    let ovl_tail: usize = h.overlap.iter().skip(2).sum();
-    println!(
-        "mass at IoU ≥ 0.10: twocar {two_tail}, overlap {ovl_tail} → shape {}",
-        if ovl_tail > 2 * two_tail {
-            "HOLDS"
-        } else {
-            "VIOLATED"
-        }
-    );
-    Ok(())
+    scenic_bench::harness::bin_main("fig36")
 }

@@ -1,53 +1,11 @@
 //! Appendix D: effectiveness of the §5.2 pruning techniques.
 //!
-//! Paper: "the pruning methods above could reduce the number of samples
-//! needed by a factor of 3 or more". We measure rejection-sampling
-//! iterations per accepted scene (and wall-clock) with and without
-//! pruning on three scenarios.
+//! Thin wrapper over the shared harness: equivalent to
+//! `scenic exp pruning --scale S`, paper-style text on stdout.
 //!
-//! Run with `cargo run --release -p scenic-bench --bin exp_pruning
+//! Run with `cargo run --release -p scenic_bench --bin exp_pruning
 //! [scale]`.
 
-use scenic_bench::{experiments, header, scale_from_args, scaled, standard_world};
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = scale_from_args();
-    header(
-        "Experiment: sample-space pruning (Appendix D)",
-        "§5.2 / Appendix D (\"factor of 3 or more\")",
-    );
-    let world = standard_world();
-    let scenes = scaled(40, scale);
-    println!("measuring {scenes} scenes per configuration…");
-    let rows = experiments::pruning_comparison(&world, scenes, 17)?;
-    println!();
-    println!(
-        "  scenario                                        iters/scene        ms/scene      factor"
-    );
-    println!("                                                  unpruned  pruned   unpr.  prun.");
-    for row in &rows {
-        println!(
-            "  {:<46} {:8.1} {:7.1}   {:5.1}  {:5.1}   {:4.2}x",
-            row.scenario,
-            row.unpruned_iters,
-            row.pruned_iters,
-            row.unpruned_ms,
-            row.pruned_ms,
-            row.iteration_factor(),
-        );
-    }
-    println!();
-    let best = rows
-        .iter()
-        .map(experiments::PruningRow::iteration_factor)
-        .fold(0.0, f64::max);
-    println!(
-        "best iteration-reduction factor: {best:.2}x → paper's ≥3x claim {}",
-        if best >= 3.0 {
-            "REPRODUCED"
-        } else {
-            "NOT REACHED (see EXPERIMENTS.md)"
-        }
-    );
-    Ok(())
+    scenic_bench::harness::bin_main("pruning")
 }

@@ -1,57 +1,12 @@
 //! Table 10: mixtures of the generic two-car and overlapping training
-//! sets, evaluated on both test sets.
+//! sets, evaluated on both test sets (Appendix D).
 //!
-//! Paper: T_overlap recall climbs 82.1 → 86.9 → 89.7 → 90.1 across
-//! 100/0 → 70/30 while T_twocar metrics stay ≈96. Shape: monotone
-//! overlap improvement at no cost to the generic set.
+//! Thin wrapper over the shared harness: equivalent to
+//! `scenic exp table10 --scale S`, paper-style text on stdout.
 //!
-//! Run with `cargo run --release -p scenic-bench --bin exp_table10
+//! Run with `cargo run --release -p scenic_bench --bin exp_table10
 //! [scale]`.
 
-use scenic_bench::{experiments, header, scale_from_args, scaled, standard_world};
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = scale_from_args();
-    header(
-        "Experiment: two-car vs overlapping mixtures (Table 10)",
-        "Appendix D Table 10",
-    );
-    let world = standard_world();
-    let train = scaled(500, scale);
-    let test = scaled(150, scale);
-    let runs = scaled(8, scale.min(1.0)).min(8);
-    println!("training sets {train} images, {runs} runs, test sets {test} images…");
-    let rows = experiments::two_car_mixtures(&world, train, test, runs, 10)?;
-    println!();
-    println!("  Mixture   T_twocar (P / R)                T_overlap (P / R)");
-    let paper = [
-        ("100/0", "96.5±1.0 / 95.7±0.5", "94.6±1.1 / 82.1±1.4"),
-        ("90/10", "95.3±2.1 / 96.2±0.5", "93.9±2.5 / 86.9±1.7"),
-        ("80/20", "96.5±0.7 / 96.0±0.6", "96.2±0.5 / 89.7±1.4"),
-        ("70/30", "96.5±0.9 / 96.5±0.6", "96.0±1.6 / 90.1±1.8"),
-    ];
-    for (label, a, b) in &paper {
-        println!("  paper {label:<6} {a}        {b}");
-    }
-    for row in &rows {
-        println!(
-            "  ours  {:<6} {} / {}       {} / {}",
-            row.label,
-            experiments::pm(row.precision_a),
-            experiments::pm(row.recall_a),
-            experiments::pm(row.precision_b),
-            experiments::pm(row.recall_b),
-        );
-    }
-    println!();
-    let first = rows.first().unwrap();
-    let last = rows.last().unwrap();
-    let overlap_up = last.recall_b.0 > first.recall_b.0;
-    let twocar_stable = (last.recall_a.0 - first.recall_a.0).abs() < 6.0;
-    println!(
-        "shape check (overlap recall rises: {}; two-car recall stable: {})",
-        if overlap_up { "HOLDS" } else { "VIOLATED" },
-        if twocar_stable { "HOLDS" } else { "VIOLATED" }
-    );
-    Ok(())
+    scenic_bench::harness::bin_main("table10")
 }

@@ -1,51 +1,12 @@
 //! Table 6: performance of models trained on X_matrix vs a 95/5 mixture
-//! with X_overlap, on the T_matrix and T_overlap test sets.
+//! with X_overlap, on the T_matrix and T_overlap test sets (§6.3).
 //!
-//! Paper: 100/0 → T_matrix 72.9±3.7 P / 37.1±2.1 R, T_overlap 62.8±6.1 P
-//! / 65.7±4.0 R; 95/5 → T_matrix 73.1±2.3 / 37.0±1.6, T_overlap
-//! 68.9±3.2 / 67.3±2.4. Shape: overlap precision rises with the
-//! mixture, matrix metrics unchanged.
+//! Thin wrapper over the shared harness: equivalent to
+//! `scenic exp table6 --scale S`, paper-style text on stdout.
 //!
-//! Run with `cargo run --release -p scenic-bench --bin exp_table6
+//! Run with `cargo run --release -p scenic_bench --bin exp_table6
 //! [scale]`.
 
-use scenic_bench::{experiments, header, scale_from_args, scaled, standard_world};
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = scale_from_args();
-    header(
-        "Experiment: training on rare events (Table 6)",
-        "§6.3 Table 6",
-    );
-    let world = standard_world();
-    let train = scaled(1250, scale);
-    let test = scaled(100, scale);
-    let runs = scaled(8, scale.min(1.0)).min(8);
-    println!("X_matrix {train} images, {runs} training runs, test sets {test} images…");
-    let rows = experiments::matrix_mixture(&world, train, test, runs, 2024)?;
-    println!();
-    println!("  Mixture      T_matrix (P / R)                T_overlap (P / R)");
-    println!("  paper 100/0  72.9±3.7 / 37.1±2.1             62.8±6.1 / 65.7±4.0");
-    println!("  paper 95/5   73.1±2.3 / 37.0±1.6             68.9±3.2 / 67.3±2.4");
-    for row in &rows {
-        println!(
-            "  ours {:7}  {} / {}       {} / {}",
-            row.label,
-            experiments::pm(row.precision_a),
-            experiments::pm(row.recall_a),
-            experiments::pm(row.precision_b),
-            experiments::pm(row.recall_b),
-        );
-    }
-    println!();
-    let base = &rows[0];
-    let mixed = &rows[1];
-    let improves = mixed.precision_b.0 > base.precision_b.0;
-    let stable = (mixed.precision_a.0 - base.precision_a.0).abs() < 6.0;
-    println!(
-        "shape check (overlap precision improves: {}; matrix stays put: {})",
-        if improves { "HOLDS" } else { "VIOLATED" },
-        if stable { "HOLDS" } else { "VIOLATED" }
-    );
-    Ok(())
+    scenic_bench::harness::bin_main("table6")
 }

@@ -1,73 +1,12 @@
 //! Table 7: debugging a failure by generalizing a misclassified scene
-//! in nine directions.
+//! in nine directions (§6.4).
 //!
-//! Paper precisions: (1) 80.3, (2) 50.5, (3) 62.8, (4) 53.1, (5) 58.9,
-//! (6) 67.5, (7) 61.3, (8) 52.4, (9) 58.6 (recall ~100 everywhere).
-//! Shape: variants keeping the car *close* stay bad; varying model and
-//! color, or freeing position/angle entirely, recovers the most.
+//! Thin wrapper over the shared harness: equivalent to
+//! `scenic exp table7 --scale S`, paper-style text on stdout.
 //!
-//! Run with `cargo run --release -p scenic-bench --bin exp_table7
+//! Run with `cargo run --release -p scenic_bench --bin exp_table7
 //! [scale]`.
 
-use scenic_bench::{experiments, header, scale_from_args, scaled, standard_world};
-
-const PAPER: [(&str, f64); 10] = [
-    ("(0) the seed scene itself", 33.3),
-    ("(1) varying model and color", 80.3),
-    ("(2) varying background", 50.5),
-    ("(3) varying local position, orientation", 62.8),
-    ("(4) varying position but staying close", 53.1),
-    ("(5) any position, same apparent angle", 58.9),
-    ("(6) any position and angle", 67.5),
-    ("(7) varying background, model, color", 61.3),
-    ("(8) staying close, same apparent angle", 52.4),
-    ("(9) staying close, varying model", 58.6),
-];
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = scale_from_args();
-    header(
-        "Experiment: debugging failures via variant scenarios (Table 7)",
-        "§6.4 Table 7",
-    );
-    let world = standard_world();
-    let train = scaled(250, scale);
-    let images = scaled(150, scale);
-    println!("training M_generic on 4 × {train} images; {images} images per variant…");
-    let results = experiments::debugging_variants(&world, train, images, 7)?;
-    println!();
-    println!("  scenario                                   paper P   ours P   ours R");
-    for (name, metrics) in &results {
-        let paper = PAPER
-            .iter()
-            .find(|(n, _)| name.starts_with(&n[..3]))
-            .map(|(_, p)| *p)
-            .unwrap_or(f64::NAN);
-        println!(
-            "  {name:<42} {paper:5.1}   {:5.1}    {:5.1}",
-            metrics.precision, metrics.recall
-        );
-    }
-    println!();
-    // Shape: close variants (4), (8) stay below freed variants (1), (6).
-    let get = |prefix: &str| {
-        results
-            .iter()
-            .find(|(n, _)| n.starts_with(prefix))
-            .map(|(_, m)| m.precision)
-            .unwrap_or(f64::NAN)
-    };
-    let close_bad = f64::midpoint(get("(4)"), get("(8)"));
-    let freed_good = f64::midpoint(get("(1)"), get("(6)"));
-    println!(
-        "shape check (close variants {:.1} < freed variants {:.1}): {}",
-        close_bad,
-        freed_good,
-        if close_bad < freed_good {
-            "HOLDS"
-        } else {
-            "VIOLATED"
-        }
-    );
-    Ok(())
+    scenic_bench::harness::bin_main("table7")
 }

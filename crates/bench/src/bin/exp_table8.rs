@@ -1,51 +1,12 @@
-//! Table 8: retraining M_generic with 10% of the training set replaced.
+//! Table 8: retraining M_generic with 10% of the training set replaced
+//! (§6.4).
 //!
-//! Paper: original 82.9 P / 92.7 R; classical augmentation 78.7 / 92.1;
-//! close car 87.4 / 91.6; close car at shallow angle 84.0 / 92.1.
-//! Shape: augmentation *hurts*, the Scenic close-car set helps most.
+//! Thin wrapper over the shared harness: equivalent to
+//! `scenic exp table8 --scale S`, paper-style text on stdout.
 //!
-//! Run with `cargo run --release -p scenic-bench --bin exp_table8
+//! Run with `cargo run --release -p scenic_bench --bin exp_table8
 //! [scale]`.
 
-use scenic_bench::{experiments, header, scale_from_args, scaled, standard_world};
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = scale_from_args();
-    header(
-        "Experiment: retraining with generalized failure scenarios (Table 8)",
-        "§6.4 Table 8",
-    );
-    let world = standard_world();
-    let train = scaled(250, scale);
-    let test = scaled(400, scale);
-    println!("M_generic trained on 4 × {train} images; test set {test} images…");
-    let rows = experiments::retraining(&world, train, test, 99)?;
-    println!();
-    println!("  replacement data              paper (P / R)   ours (P / R)");
-    let paper = [
-        ("Original (no replacement)", (82.9, 92.7)),
-        ("Classical augmentation", (78.7, 92.1)),
-        ("Close car", (87.4, 91.6)),
-        ("Close car at shallow angle", (84.0, 92.1)),
-    ];
-    for ((name, metrics), (_, (pp, pr))) in rows.iter().zip(paper.iter()) {
-        println!(
-            "  {name:<28}  {pp:4.1} / {pr:4.1}     {:4.1} / {:4.1}",
-            metrics.precision, metrics.recall
-        );
-    }
-    println!();
-    let orig = rows[0].1.precision;
-    let aug = rows[1].1.precision;
-    let close = rows[2].1.precision;
-    println!(
-        "shape check (augmentation ≤ original: {}; close car > original: {})",
-        if aug <= orig + 1.0 {
-            "HOLDS"
-        } else {
-            "VIOLATED"
-        },
-        if close > orig { "HOLDS" } else { "VIOLATED" }
-    );
-    Ok(())
+    scenic_bench::harness::bin_main("table8")
 }

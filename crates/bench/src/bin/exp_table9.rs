@@ -1,46 +1,12 @@
 //! Table 9: the Table 6 experiment under the Average Precision metric
-//! of the "Driving in the Matrix" paper.
+//! of the "Driving in the Matrix" paper (Appendix D).
 //!
-//! Paper: 100/0 → AP 36.1±1.1 (T_matrix) / 61.7±2.2 (T_overlap);
-//! 95/5 → 36.0±1.0 / 65.8±1.2. Shape: overlap AP improves, matrix AP
-//! unchanged.
+//! Thin wrapper over the shared harness: equivalent to
+//! `scenic exp table9 --scale S`, paper-style text on stdout.
 //!
-//! Run with `cargo run --release -p scenic-bench --bin exp_table9
+//! Run with `cargo run --release -p scenic_bench --bin exp_table9
 //! [scale]`.
 
-use scenic_bench::{experiments, header, scale_from_args, scaled, standard_world};
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = scale_from_args();
-    header(
-        "Experiment: Table 6 under the AP metric (Table 9)",
-        "Appendix D Table 9",
-    );
-    let world = standard_world();
-    let train = scaled(1250, scale);
-    let test = scaled(100, scale);
-    let runs = scaled(8, scale.min(1.0)).min(8);
-    println!("X_matrix {train} images, {runs} training runs, test sets {test} images…");
-    let rows = experiments::matrix_mixture(&world, train, test, runs, 2024)?;
-    println!();
-    println!("  Mixture      AP on T_matrix   AP on T_overlap");
-    println!("  paper 100/0  36.1 ± 1.1       61.7 ± 2.2");
-    println!("  paper 95/5   36.0 ± 1.0       65.8 ± 1.2");
-    for row in &rows {
-        println!(
-            "  ours {:7}  {}       {}",
-            row.label,
-            experiments::pm(row.ap_a),
-            experiments::pm(row.ap_b),
-        );
-    }
-    println!();
-    let improves = rows[1].ap_b.0 > rows[0].ap_b.0;
-    let stable = (rows[1].ap_a.0 - rows[0].ap_a.0).abs() < 6.0;
-    println!(
-        "shape check (overlap AP improves: {}; matrix AP stays put: {})",
-        if improves { "HOLDS" } else { "VIOLATED" },
-        if stable { "HOLDS" } else { "VIOLATED" }
-    );
-    Ok(())
+    scenic_bench::harness::bin_main("table9")
 }

@@ -1,9 +1,15 @@
 //! Experiment drivers: one function per paper artifact.
 //!
 //! Every function returns structured results so the `src/bin/` targets
-//! can print paper-style tables and EXPERIMENTS.md can record
-//! paper-vs-measured. Dataset sizes are parameters; the binaries pass
-//! scaled-down defaults (the mechanisms being measured are size-stable).
+//! and the `scenic exp` harness (see [`crate::harness`]) can print
+//! paper-style tables and EXPERIMENTS.json can record paper-vs-measured.
+//! Dataset sizes are parameters; callers pass scaled-down defaults (the
+//! mechanisms being measured are size-stable).
+//!
+//! Each driver takes a `jobs` worker count — forwarded to the
+//! deterministic batch sampler, so results are byte-identical for any
+//! value — and a [`Counters`] accumulator recording how much sampling
+//! and rendering work the experiment performed.
 
 use crate::seed_case::seed_case;
 use scenic_core::prune::PruneParams;
@@ -11,7 +17,38 @@ use scenic_core::sampler::{Sampler, SamplerConfig};
 use scenic_core::RunResult;
 use scenic_detect::{augment, matrix_dataset, Dataset, Detector};
 use scenic_gta::{scenarios, World};
-use scenic_sim::{average_precision, mean_std, DatasetMetrics};
+use scenic_sim::{average_precision, mean_std, DatasetMetrics, RenderedImage};
+
+/// Work counters accumulated while an experiment generates its data:
+/// how many scenes were accepted, how many images rendered, and how
+/// many interpreter iterations the rejection sampler spent. Derived
+/// sets (takes, mixtures, concats) are not re-counted — every freshly
+/// generated dataset is absorbed exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Scenes accepted by the sampler.
+    pub scenes: usize,
+    /// Images rendered from those scenes.
+    pub images: usize,
+    /// Interpreter iterations spent (accepted + rejected).
+    pub iterations: usize,
+}
+
+impl Counters {
+    /// Absorbs the generation cost of a freshly generated dataset.
+    pub fn absorb(&mut self, ds: &Dataset) {
+        self.scenes += ds.stats.scenes;
+        self.images += ds.len();
+        self.iterations += ds.stats.iterations;
+    }
+
+    /// Adds another experiment's counters into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.scenes += other.scenes;
+        self.images += other.images;
+        self.iterations += other.iterations;
+    }
+}
 
 /// Trains M_generic: the §6.2 model trained on 1–4-car generic
 /// scenarios in equal parts.
@@ -23,11 +60,14 @@ pub fn train_generic(
     world: &World,
     per_scenario: usize,
     seed: u64,
+    jobs: usize,
+    counters: &mut Counters,
 ) -> RunResult<(Detector, Dataset)> {
     let mut train = Dataset::default();
     for k in 1..=4usize {
         let src = scenarios::generic_n_cars(k);
-        let ds = Dataset::from_source(&src, world.core(), per_scenario, seed + k as u64)?;
+        let ds = Dataset::from_source(&src, world.core(), per_scenario, seed + k as u64, jobs)?;
+        counters.absorb(&ds);
         train = train.concat(&ds);
     }
     Ok((Detector::train(&train.images), train))
@@ -54,30 +94,41 @@ pub fn conditions(
     train_per_scenario: usize,
     test_per_scenario: usize,
     seed: u64,
+    jobs: usize,
+    counters: &mut Counters,
 ) -> RunResult<ConditionsResult> {
-    let (model, _) = train_generic(world, train_per_scenario, seed)?;
+    let (model, _) = train_generic(world, train_per_scenario, seed, jobs, counters)?;
     let mut generic = Dataset::default();
     let mut good = Dataset::default();
     let mut bad = Dataset::default();
     for k in 1..=4usize {
-        generic = generic.concat(&Dataset::from_source(
+        let g = Dataset::from_source(
             &scenarios::generic_n_cars(k),
             world.core(),
             test_per_scenario,
             seed + 100 + k as u64,
-        )?);
-        good = good.concat(&Dataset::from_source(
+            jobs,
+        )?;
+        counters.absorb(&g);
+        generic = generic.concat(&g);
+        let gd = Dataset::from_source(
             &scenarios::generic_n_cars_good(k),
             world.core(),
             test_per_scenario,
             seed + 200 + k as u64,
-        )?);
-        bad = bad.concat(&Dataset::from_source(
+            jobs,
+        )?;
+        counters.absorb(&gd);
+        good = good.concat(&gd);
+        let bd = Dataset::from_source(
             &scenarios::generic_n_cars_bad(k),
             world.core(),
             test_per_scenario,
             seed + 300 + k as u64,
-        )?);
+            jobs,
+        )?;
+        counters.absorb(&bd);
+        bad = bad.concat(&bd);
     }
     Ok(ConditionsResult {
         generic: model.evaluate(&generic.images, seed + 1),
@@ -117,21 +168,29 @@ pub fn matrix_mixture(
     test_size: usize,
     runs: usize,
     seed: u64,
+    jobs: usize,
+    counters: &mut Counters,
 ) -> RunResult<Vec<MixtureRow>> {
     let x_matrix = matrix_dataset(world.core(), train_size, 12, seed)?;
+    counters.absorb(&x_matrix);
     let x_overlap = Dataset::from_source(
         scenarios::TWO_OVERLAPPING,
         world.core(),
         train_size / 20 + runs,
         seed + 1,
+        jobs,
     )?;
+    counters.absorb(&x_overlap);
     let t_matrix = matrix_dataset(world.core(), test_size, 12, seed + 2)?;
+    counters.absorb(&t_matrix);
     let t_overlap = Dataset::from_source(
         scenarios::TWO_OVERLAPPING,
         world.core(),
         test_size,
         seed + 3,
+        jobs,
     )?;
+    counters.absorb(&t_overlap);
 
     let mut rows = Vec::new();
     for (label, replace_frac) in [("100 / 0", 0.0), ("95 / 5", 0.05)] {
@@ -181,19 +240,28 @@ pub fn debugging_variants(
     train_per_scenario: usize,
     images_per_variant: usize,
     seed: u64,
+    jobs: usize,
+    counters: &mut Counters,
 ) -> RunResult<Vec<(String, DatasetMetrics)>> {
-    let (model, _) = train_generic(world, train_per_scenario, seed)?;
+    let (model, _) = train_generic(world, train_per_scenario, seed, jobs, counters)?;
     let case = seed_case(world);
     let mut results = Vec::new();
     // The exact seed scene first (the paper's 33.3% precision image).
-    let exact = Dataset::from_source(&case.exact_source(), world.core(), 1, seed + 7)?;
+    let exact = Dataset::from_source(&case.exact_source(), world.core(), 1, seed + 7, jobs)?;
+    counters.absorb(&exact);
     results.push((
         "(0) the seed scene itself".to_string(),
         model.evaluate(&exact.images, seed + 8),
     ));
     for (i, (name, src)) in case.variants().into_iter().enumerate() {
-        let ds =
-            Dataset::from_source(&src, world.core(), images_per_variant, seed + 20 + i as u64)?;
+        let ds = Dataset::from_source(
+            &src,
+            world.core(),
+            images_per_variant,
+            seed + 20 + i as u64,
+            jobs,
+        )?;
+        counters.absorb(&ds);
         results.push((
             name.to_string(),
             model.evaluate(&ds.images, seed + 40 + i as u64),
@@ -213,20 +281,25 @@ pub fn retraining(
     train_per_scenario: usize,
     test_size: usize,
     seed: u64,
+    jobs: usize,
+    counters: &mut Counters,
 ) -> RunResult<Vec<(String, DatasetMetrics)>> {
-    let (_, x_generic) = train_generic(world, train_per_scenario, seed)?;
+    let (_, x_generic) = train_generic(world, train_per_scenario, seed, jobs, counters)?;
     let replace = x_generic.len() / 10;
     let case = seed_case(world);
 
     // Test set: the enlarged generic test set of §6.4.
     let mut t_generic = Dataset::default();
     for k in 1..=4usize {
-        t_generic = t_generic.concat(&Dataset::from_source(
+        let ds = Dataset::from_source(
             &scenarios::generic_n_cars(k),
             world.core(),
             test_size / 4,
             seed + 500 + k as u64,
-        )?);
+            jobs,
+        )?;
+        counters.absorb(&ds);
+        t_generic = t_generic.concat(&ds);
     }
 
     let mut rows = Vec::new();
@@ -239,9 +312,11 @@ pub fn retraining(
     ));
 
     // Classical augmentation of the single misclassified image.
-    let exact = Dataset::from_source(&case.exact_source(), world.core(), 1, seed + 9)?;
+    let exact = Dataset::from_source(&case.exact_source(), world.core(), 1, seed + 9, jobs)?;
+    counters.absorb(&exact);
     let augmented = Dataset {
         images: augment(&exact.images[0], replace, seed + 10),
+        ..Dataset::default()
     };
     let aug_train = x_generic.mixed_with(&augmented, replace, seed + 11);
     let aug_model = Detector::train(&aug_train.images);
@@ -256,7 +331,9 @@ pub fn retraining(
         world.core(),
         replace,
         seed + 12,
+        jobs,
     )?;
+    counters.absorb(&close);
     let close_train = x_generic.mixed_with(&close, replace, seed + 13);
     let close_model = Detector::train(&close_train.images);
     rows.push((
@@ -270,7 +347,9 @@ pub fn retraining(
         world.core(),
         replace,
         seed + 14,
+        jobs,
     )?;
+    counters.absorb(&shallow);
     let shallow_train = x_generic.mixed_with(&shallow, replace, seed + 15);
     let shallow_model = Detector::train(&shallow_train.images);
     rows.push((
@@ -293,21 +372,30 @@ pub fn two_car_mixtures(
     test_size: usize,
     runs: usize,
     seed: u64,
+    jobs: usize,
+    counters: &mut Counters,
 ) -> RunResult<Vec<MixtureRow>> {
-    let x_twocar = Dataset::from_source(scenarios::TWO_CARS, world.core(), train_size, seed)?;
+    let x_twocar = Dataset::from_source(scenarios::TWO_CARS, world.core(), train_size, seed, jobs)?;
+    counters.absorb(&x_twocar);
     let x_overlap = Dataset::from_source(
         scenarios::TWO_OVERLAPPING,
         world.core(),
         train_size,
         seed + 1,
+        jobs,
     )?;
-    let t_twocar = Dataset::from_source(scenarios::TWO_CARS, world.core(), test_size, seed + 2)?;
+    counters.absorb(&x_overlap);
+    let t_twocar =
+        Dataset::from_source(scenarios::TWO_CARS, world.core(), test_size, seed + 2, jobs)?;
+    counters.absorb(&t_twocar);
     let t_overlap = Dataset::from_source(
         scenarios::TWO_OVERLAPPING,
         world.core(),
         test_size,
         seed + 3,
+        jobs,
     )?;
+    counters.absorb(&t_overlap);
 
     let mut rows = Vec::new();
     for (label, frac) in [
@@ -368,9 +456,23 @@ pub struct IouHistogram {
 /// # Errors
 ///
 /// Propagates compile/sampling failures.
-pub fn iou_histogram(world: &World, images: usize, seed: u64) -> RunResult<IouHistogram> {
-    let twocar = Dataset::from_source(scenarios::TWO_CARS, world.core(), images, seed)?;
-    let overlap = Dataset::from_source(scenarios::TWO_OVERLAPPING, world.core(), images, seed + 1)?;
+pub fn iou_histogram(
+    world: &World,
+    images: usize,
+    seed: u64,
+    jobs: usize,
+    counters: &mut Counters,
+) -> RunResult<IouHistogram> {
+    let twocar = Dataset::from_source(scenarios::TWO_CARS, world.core(), images, seed, jobs)?;
+    counters.absorb(&twocar);
+    let overlap = Dataset::from_source(
+        scenarios::TWO_OVERLAPPING,
+        world.core(),
+        images,
+        seed + 1,
+        jobs,
+    )?;
+    counters.absorb(&overlap);
     let edges: Vec<f64> = (0..10).map(|i| i as f64 * 0.05).collect();
     let bucket = |iou: f64| ((iou / 0.05) as usize).min(9);
     let mut h_two = vec![0usize; 10];
@@ -395,11 +497,13 @@ pub struct PruningRow {
     pub scenario: String,
     /// Interpreter runs per accepted scene without pruning.
     pub unpruned_iters: f64,
-    /// Wall-clock per scene without pruning, ms.
+    /// Wall-clock per scene without pruning, ms. Non-deterministic;
+    /// excluded from machine-readable artifacts.
     pub unpruned_ms: f64,
     /// Interpreter runs per accepted scene with pruning.
     pub pruned_iters: f64,
-    /// Wall-clock per scene with pruning, ms.
+    /// Wall-clock per scene with pruning, ms. Non-deterministic;
+    /// excluded from machine-readable artifacts.
     pub pruned_ms: f64,
 }
 
@@ -415,6 +519,7 @@ fn measure(
     world: &scenic_core::World,
     scenes: usize,
     seed: u64,
+    counters: &mut Counters,
 ) -> RunResult<(f64, f64)> {
     let scenario = scenic_core::compile_with_world(source, world)?;
     let mut sampler = Sampler::new(&scenario)
@@ -427,6 +532,8 @@ fn measure(
         sampler.sample()?;
     }
     let elapsed = start.elapsed().as_secs_f64() * 1000.0 / scenes as f64;
+    counters.scenes += sampler.stats().scenes;
+    counters.iterations += sampler.stats().iterations;
     Ok((sampler.stats().iterations_per_scene(), elapsed))
 }
 
@@ -438,7 +545,12 @@ fn measure(
 /// # Errors
 ///
 /// Propagates compile/sampling failures.
-pub fn pruning_comparison(_world: &World, scenes: usize, seed: u64) -> RunResult<Vec<PruningRow>> {
+pub fn pruning_comparison(
+    _world: &World,
+    scenes: usize,
+    seed: u64,
+    counters: &mut Counters,
+) -> RunResult<Vec<PruningRow>> {
     let mut rows = Vec::new();
 
     // Oncoming car: the `require car2 can see ego` constraint forces the
@@ -460,8 +572,20 @@ pub fn pruning_comparison(_world: &World, scenes: usize, seed: u64) -> RunResult
         heading_tolerance: 0.0,
         min_width: None,
     })?;
-    let (ui, ut) = measure(scenarios::ONCOMING, one_way_city.core(), scenes, seed)?;
-    let (pi_, pt) = measure(scenarios::ONCOMING, &oncoming_pruned, scenes, seed)?;
+    let (ui, ut) = measure(
+        scenarios::ONCOMING,
+        one_way_city.core(),
+        scenes,
+        seed,
+        counters,
+    )?;
+    let (pi_, pt) = measure(
+        scenarios::ONCOMING,
+        &oncoming_pruned,
+        scenes,
+        seed,
+        counters,
+    )?;
     rows.push(PruningRow {
         scenario: "oncoming car (A.5, orientation pruning)".to_string(),
         unpruned_iters: ui,
@@ -494,8 +618,15 @@ pub fn pruning_comparison(_world: &World, scenes: usize, seed: u64) -> RunResult
         sparse_arterials.core(),
         scenes,
         seed + 1,
+        counters,
     )?;
-    let (pi_, pt) = measure(scenarios::BUMPER_ON_ROAD, &bumper_pruned, scenes, seed + 1)?;
+    let (pi_, pt) = measure(
+        scenarios::BUMPER_ON_ROAD,
+        &bumper_pruned,
+        scenes,
+        seed + 1,
+        counters,
+    )?;
     rows.push(PruningRow {
         scenario: "bumper-to-bumper on-road (A.11, size pruning)".to_string(),
         unpruned_iters: ui,
@@ -511,14 +642,204 @@ pub fn pruning_comparison(_world: &World, scenes: usize, seed: u64) -> RunResult
         min_radius: 1.0,
         ..PruneParams::default()
     })?;
-    let (ui, ut) = measure(scenarios::TWO_CARS, city.core(), scenes, seed + 2)?;
-    let (pi_, pt) = measure(scenarios::TWO_CARS, &contain_pruned, scenes, seed + 2)?;
+    let (ui, ut) = measure(scenarios::TWO_CARS, city.core(), scenes, seed + 2, counters)?;
+    let (pi_, pt) = measure(
+        scenarios::TWO_CARS,
+        &contain_pruned,
+        scenes,
+        seed + 2,
+        counters,
+    )?;
     rows.push(PruningRow {
         scenario: "generic two-car (A.7, containment pruning)".to_string(),
         unpruned_iters: ui,
         unpruned_ms: ut,
         pruned_iters: pi_,
         pruned_ms: pt,
+    });
+
+    Ok(rows)
+}
+
+/// One row of the ablation study: a feature family masked in both
+/// training and test labels, and the headline gap it was expected to
+/// carry, before and after masking.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Feature family masked ("occlusion", "context", "appearance").
+    pub feature: String,
+    /// The gap measured (e.g. "two-car recall − overlap recall").
+    pub metric: String,
+    /// Gap with full features, points.
+    pub full: f64,
+    /// Gap with the family masked, points.
+    pub masked: f64,
+}
+
+impl AblationRow {
+    /// Whether masking erased the effect (gap magnitude at least halved).
+    pub fn confirmed(&self) -> bool {
+        self.masked.abs() < self.full.abs() * 0.5 + 1e-9
+    }
+}
+
+fn mask_occlusion(images: &[RenderedImage]) -> Vec<RenderedImage> {
+    images
+        .iter()
+        .map(|img| {
+            let mut img = img.clone();
+            for car in &mut img.cars {
+                car.occlusion = 0.0;
+            }
+            img
+        })
+        .collect()
+}
+
+fn mask_context(images: &[RenderedImage]) -> Vec<RenderedImage> {
+    images
+        .iter()
+        .map(|img| {
+            let mut img = img.clone();
+            img.darkness = 0.0;
+            img.weather_severity = 0.0;
+            img
+        })
+        .collect()
+}
+
+fn mask_appearance(images: &[RenderedImage]) -> Vec<RenderedImage> {
+    images
+        .iter()
+        .map(|img| {
+            let mut img = img.clone();
+            for car in &mut img.cars {
+                car.model = "MASKED".to_string();
+                car.color = [0.5, 0.5, 0.5];
+            }
+            img
+        })
+        .collect()
+}
+
+/// Ablation study (DESIGN.md §4): masks one detector feature family at
+/// a time — in both training and test labels — and re-measures the
+/// headline gap that family is hypothesised to carry:
+///
+/// - **occlusion** should carry the Table 6/10 overlap gap;
+/// - **context** (time/weather) should carry the §6.2
+///   good-vs-bad-conditions gap;
+/// - **appearance** (model/color) should carry the Table 7 seed-variant
+///   spread.
+///
+/// # Errors
+///
+/// Propagates compile/sampling failures.
+pub fn ablation(
+    world: &World,
+    n_train: usize,
+    n_test: usize,
+    jobs: usize,
+    counters: &mut Counters,
+) -> RunResult<Vec<AblationRow>> {
+    let mut rows = Vec::new();
+
+    // --- occlusion ablation on the two-car vs overlap gap -----------
+    let train = Dataset::from_source(scenarios::TWO_CARS, world.core(), n_train, 1, jobs)?;
+    counters.absorb(&train);
+    let t_overlap =
+        Dataset::from_source(scenarios::TWO_OVERLAPPING, world.core(), n_test, 2, jobs)?;
+    counters.absorb(&t_overlap);
+    let t_twocar = Dataset::from_source(scenarios::TWO_CARS, world.core(), n_test, 3, jobs)?;
+    counters.absorb(&t_twocar);
+
+    let full = Detector::train(&train.images);
+    let gap_full =
+        full.evaluate(&t_twocar.images, 9).recall - full.evaluate(&t_overlap.images, 9).recall;
+
+    let masked_train = mask_occlusion(&train.images);
+    let masked = Detector::train(&masked_train);
+    let gap_masked = masked.evaluate(&mask_occlusion(&t_twocar.images), 9).recall
+        - masked
+            .evaluate(&mask_occlusion(&t_overlap.images), 9)
+            .recall;
+    rows.push(AblationRow {
+        feature: "occlusion".to_string(),
+        metric: "two-car recall − overlap recall".to_string(),
+        full: gap_full,
+        masked: gap_masked,
+    });
+
+    // --- context ablation on the §6.2 conditions gap -----------------
+    let mut gen_train = Dataset::default();
+    for k in 1..=2usize {
+        let ds = Dataset::from_source(
+            &scenarios::generic_n_cars(k),
+            world.core(),
+            n_train / 2,
+            10 + k as u64,
+            jobs,
+        )?;
+        counters.absorb(&ds);
+        gen_train = gen_train.concat(&ds);
+    }
+    let t_good = Dataset::from_source(
+        &scenarios::generic_n_cars_good(2),
+        world.core(),
+        n_test,
+        20,
+        jobs,
+    )?;
+    counters.absorb(&t_good);
+    let t_bad = Dataset::from_source(
+        &scenarios::generic_n_cars_bad(2),
+        world.core(),
+        n_test,
+        21,
+        jobs,
+    )?;
+    counters.absorb(&t_bad);
+
+    let full = Detector::train(&gen_train.images);
+    let cond_gap_full =
+        full.evaluate(&t_good.images, 5).precision - full.evaluate(&t_bad.images, 5).precision;
+
+    let masked = Detector::train(&mask_context(&gen_train.images));
+    let cond_gap_masked = masked.evaluate(&mask_context(&t_good.images), 5).precision
+        - masked.evaluate(&mask_context(&t_bad.images), 5).precision;
+    rows.push(AblationRow {
+        feature: "context".to_string(),
+        metric: "good-conditions precision − bad-conditions precision".to_string(),
+        full: cond_gap_full,
+        masked: cond_gap_masked,
+    });
+
+    // --- appearance ablation on the Table 7 seed spread --------------
+    let case = seed_case(world);
+    let variants = case.variants();
+    // (4) fixes model and color at the seed position; (1) varies them.
+    let close_fixed = Dataset::from_source(&variants[3].1, world.core(), n_test, 30, jobs)?;
+    counters.absorb(&close_fixed);
+    let close_varied =
+        Dataset::from_source(&variants[0].1, world.core(), n_test.min(60), 31, jobs)?;
+    counters.absorb(&close_varied);
+
+    let full = Detector::train(&gen_train.images);
+    let spread_full = full.evaluate(&close_varied.images, 6).precision
+        - full.evaluate(&close_fixed.images, 6).precision;
+
+    let masked = Detector::train(&mask_appearance(&gen_train.images));
+    let spread_masked = masked
+        .evaluate(&mask_appearance(&close_varied.images), 6)
+        .precision
+        - masked
+            .evaluate(&mask_appearance(&close_fixed.images), 6)
+            .precision;
+    rows.push(AblationRow {
+        feature: "appearance".to_string(),
+        metric: "variant (1) precision − variant (4) precision".to_string(),
+        full: spread_full,
+        masked: spread_masked,
     });
 
     Ok(rows)
@@ -537,7 +858,8 @@ mod tests {
     #[test]
     fn conditions_shape_holds_at_small_scale() {
         let world = standard_world();
-        let r = conditions(&world, 40, 10, 1).unwrap();
+        let mut counters = Counters::default();
+        let r = conditions(&world, 40, 10, 1, 2, &mut counters).unwrap();
         // Bad conditions must be clearly worse than good conditions in
         // precision (the §6.2 finding).
         assert!(
@@ -546,12 +868,16 @@ mod tests {
             r.good.precision,
             r.bad.precision
         );
+        // The counters saw every generated set: 4 train + 12 test.
+        assert_eq!(counters.images, 4 * 40 + 12 * 10);
+        assert!(counters.iterations >= counters.scenes);
     }
 
     #[test]
     fn mixture_improves_overlap_without_hurting_matrix() {
         let world = standard_world();
-        let rows = matrix_mixture(&world, 600, 80, 3, 5).unwrap();
+        let mut counters = Counters::default();
+        let rows = matrix_mixture(&world, 600, 80, 3, 5, 2, &mut counters).unwrap();
         let base = &rows[0];
         let mixed = &rows[1];
         // Combined P+R on the overlap set improves (the full-scale run
@@ -574,7 +900,8 @@ mod tests {
     #[test]
     fn iou_histogram_separates_sets() {
         let world = standard_world();
-        let h = iou_histogram(&world, 40, 3).unwrap();
+        let mut counters = Counters::default();
+        let h = iou_histogram(&world, 40, 3, 1, &mut counters).unwrap();
         // The two-car set is dominated by the zero bin; the overlap set
         // has mass above it.
         let two_nonzero: usize = h.twocar.iter().skip(1).sum();

@@ -12,6 +12,8 @@
 //! paper-proportional counts scaled by 1/4).
 
 pub mod experiments;
+pub mod harness;
+pub mod report;
 pub mod seed_case;
 
 use scenic_gta::{MapConfig, World};

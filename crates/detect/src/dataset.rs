@@ -6,10 +6,15 @@
 //! by scattering 0–10 cars over the road in front of the ego without the
 //! structure Scenic scenarios impose (see DESIGN.md's substitution
 //! table).
+//!
+//! Generation runs on the deterministic parallel batch path
+//! ([`Sampler::sample_batch_report`], persistent worker pool): every
+//! scene's RNG stream derives from the dataset seed and the scene
+//! index, so a dataset is **byte-identical for any `jobs` value**.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scenic_core::sampler::{Sampler, SamplerConfig};
+use scenic_core::sampler::{Sampler, SamplerConfig, SamplerStats};
 use scenic_core::{RunResult, Scenario};
 use scenic_sim::{render_scene, RenderedImage};
 
@@ -18,6 +23,12 @@ use scenic_sim::{render_scene, RenderedImage};
 pub struct Dataset {
     /// The images.
     pub images: Vec<RenderedImage>,
+    /// Rejection-sampling cost of generating these images (scene and
+    /// iteration counters). Derived sets combine parents' counters:
+    /// [`Dataset::concat`] sums them; [`Dataset::take`] and
+    /// [`Dataset::mixed_with`] keep `self`'s (the other parent's cost
+    /// is counted where that parent was generated).
+    pub stats: SamplerStats,
 }
 
 impl Dataset {
@@ -31,26 +42,30 @@ impl Dataset {
         self.images.is_empty()
     }
 
-    /// Generates `n` images from a compiled scenario.
+    /// Generates `n` images from a compiled scenario across `jobs`
+    /// worker threads. Scene `i` draws from the seed-derived stream of
+    /// index `i`, so the result is byte-identical for every `jobs`
+    /// value (including 1).
     ///
     /// # Errors
     ///
     /// Propagates sampling failures (exhausted budgets, program errors).
-    pub fn generate(scenario: &Scenario, n: usize, seed: u64) -> RunResult<Dataset> {
+    pub fn generate(scenario: &Scenario, n: usize, seed: u64, jobs: usize) -> RunResult<Dataset> {
         let mut sampler = Sampler::new(scenario)
             .with_seed(seed)
             .with_config(SamplerConfig {
                 max_iterations: 20_000,
             });
-        let mut images = Vec::with_capacity(n);
-        for _ in 0..n {
-            let scene = sampler.sample()?;
-            images.push(render_scene(&scene));
-        }
-        Ok(Dataset { images })
+        let report = sampler.sample_batch_report(n, jobs)?;
+        let images = report.scenes.iter().map(render_scene).collect();
+        Ok(Dataset {
+            images,
+            stats: report.total_stats(),
+        })
     }
 
-    /// Generates `n` images from Scenic source against a world.
+    /// Generates `n` images from Scenic source against a world (see
+    /// [`Dataset::generate`] for the `jobs` determinism contract).
     ///
     /// # Errors
     ///
@@ -60,15 +75,17 @@ impl Dataset {
         world: &scenic_core::World,
         n: usize,
         seed: u64,
+        jobs: usize,
     ) -> RunResult<Dataset> {
         let scenario = scenic_core::compile_with_world(source, world)?;
-        Dataset::generate(&scenario, n, seed)
+        Dataset::generate(&scenario, n, seed, jobs)
     }
 
     /// Splits off the first `n` images as a new set.
     pub fn take(&self, n: usize) -> Dataset {
         Dataset {
             images: self.images.iter().take(n).cloned().collect(),
+            stats: self.stats,
         }
     }
 
@@ -89,14 +106,19 @@ impl Dataset {
         for (k, &victim) in indices.iter().take(replace).enumerate() {
             images[victim] = other.images[k].clone();
         }
-        Dataset { images }
+        Dataset {
+            images,
+            stats: self.stats,
+        }
     }
 
-    /// Concatenates two sets.
+    /// Concatenates two sets, summing their sampling counters.
     pub fn concat(&self, other: &Dataset) -> Dataset {
         let mut images = self.images.clone();
         images.extend(other.images.iter().cloned());
-        Dataset { images }
+        let mut stats = self.stats;
+        stats.merge(&other.stats);
+        Dataset { images, stats }
     }
 
     /// Mean pairwise ground-truth IoU of the two nearest cars per image
@@ -143,6 +165,7 @@ pub fn matrix_dataset(
         .map(|k| scenic_core::compile_with_world(&matrix_source(k), world))
         .collect::<RunResult<_>>()?;
     let mut images = Vec::with_capacity(n);
+    let mut stats = SamplerStats::default();
     while images.len() < n {
         let k = rng.gen_range(0..=max_cars);
         let mut sampler = Sampler::new(&scenarios[k])
@@ -151,6 +174,7 @@ pub fn matrix_dataset(
                 max_iterations: 20_000,
             });
         let scene = sampler.sample()?;
+        stats.merge(&sampler.stats());
         let image = render_scene(&scene);
         // Screenshots with zero visible cars carry no labels; keep them
         // sparse like the original dataset by skipping most.
@@ -159,7 +183,7 @@ pub fn matrix_dataset(
         }
         images.push(image);
     }
-    Ok(Dataset { images })
+    Ok(Dataset { images, stats })
 }
 
 #[cfg(test)]
@@ -174,7 +198,7 @@ mod tests {
     #[test]
     fn generate_two_car_dataset() {
         let w = world();
-        let ds = Dataset::from_source(scenarios::TWO_CARS, w.core(), 10, 1).unwrap();
+        let ds = Dataset::from_source(scenarios::TWO_CARS, w.core(), 10, 1, 2).unwrap();
         assert_eq!(ds.len(), 10);
         // Each scene had 2 non-ego cars; images contain at most 2.
         assert!(ds.images.iter().all(|i| i.cars.len() <= 2));
@@ -186,8 +210,8 @@ mod tests {
     #[test]
     fn overlap_images_overlap_more() {
         let w = world();
-        let generic = Dataset::from_source(scenarios::TWO_CARS, w.core(), 25, 3).unwrap();
-        let overlap = Dataset::from_source(scenarios::TWO_OVERLAPPING, w.core(), 25, 3).unwrap();
+        let generic = Dataset::from_source(scenarios::TWO_CARS, w.core(), 25, 3, 1).unwrap();
+        let overlap = Dataset::from_source(scenarios::TWO_OVERLAPPING, w.core(), 25, 3, 1).unwrap();
         assert!(
             overlap.mean_pair_iou() > generic.mean_pair_iou() + 0.02,
             "overlap {} vs generic {}",
@@ -209,8 +233,8 @@ mod tests {
     #[test]
     fn mixture_replaces_exactly() {
         let w = world();
-        let a = Dataset::from_source(scenarios::TWO_CARS, w.core(), 12, 7).unwrap();
-        let b = Dataset::from_source(scenarios::TWO_OVERLAPPING, w.core(), 6, 8).unwrap();
+        let a = Dataset::from_source(scenarios::TWO_CARS, w.core(), 12, 7, 1).unwrap();
+        let b = Dataset::from_source(scenarios::TWO_OVERLAPPING, w.core(), 6, 8, 1).unwrap();
         let mixed = a.mixed_with(&b, 6, 9);
         assert_eq!(mixed.len(), 12);
         let from_b = mixed
@@ -224,7 +248,7 @@ mod tests {
     #[test]
     fn take_and_concat() {
         let w = world();
-        let a = Dataset::from_source(scenarios::ONE_CAR, w.core(), 6, 2).unwrap();
+        let a = Dataset::from_source(scenarios::ONE_CAR, w.core(), 6, 2, 1).unwrap();
         assert_eq!(a.take(3).len(), 3);
         assert_eq!(a.concat(&a.take(2)).len(), 8);
     }

@@ -18,8 +18,8 @@
 //! use scenic_gta::{scenarios, MapConfig, World};
 //!
 //! let world = World::generate(MapConfig::default());
-//! let train = Dataset::from_source(scenarios::TWO_CARS, world.core(), 200, 1)?;
-//! let test = Dataset::from_source(scenarios::TWO_CARS, world.core(), 50, 2)?;
+//! let train = Dataset::from_source(scenarios::TWO_CARS, world.core(), 200, 1, 4)?;
+//! let test = Dataset::from_source(scenarios::TWO_CARS, world.core(), 50, 2, 4)?;
 //! let model = Detector::train(&train.images);
 //! let metrics = model.evaluate(&test.images, 3);
 //! println!("precision {:.1}% recall {:.1}%", metrics.precision, metrics.recall);

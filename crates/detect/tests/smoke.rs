@@ -7,8 +7,8 @@ use scenic_gta::{scenarios, MapConfig, World};
 #[test]
 fn train_and_evaluate_tiny() {
     let world = World::generate(MapConfig::default());
-    let train = Dataset::from_source(scenarios::TWO_CARS, world.core(), 24, 1).unwrap();
-    let test = Dataset::from_source(scenarios::TWO_CARS, world.core(), 8, 2).unwrap();
+    let train = Dataset::from_source(scenarios::TWO_CARS, world.core(), 24, 1, 2).unwrap();
+    let test = Dataset::from_source(scenarios::TWO_CARS, world.core(), 8, 2, 2).unwrap();
     let model = Detector::train(&train.images);
     let metrics = model.evaluate(&test.images, 3);
     assert_eq!(metrics.images, 8);

@@ -1,0 +1,108 @@
+//! Property-based tests for the detection metrics (§6.1, Appendix D).
+//!
+//! The experiment harness's shape checks compare precision/recall/AP
+//! values across datasets, so the metrics themselves must honor their
+//! algebraic contract on *arbitrary* predictions, not just the
+//! hand-picked cases in the unit tests: values stay in [0, 100],
+//! perfect predictions score perfectly, empty predictions recall
+//! nothing, and the greedy matcher never matches one ground-truth box
+//! twice.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scenic_sim::{average_precision, evaluate_dataset, match_detections, Detection, PixelBox};
+
+/// A random pixel box with positive area.
+fn random_box(rng: &mut StdRng) -> PixelBox {
+    let x = rng.gen_range(0.0..900.0);
+    let y = rng.gen_range(0.0..500.0);
+    let w = rng.gen_range(1.0..120.0);
+    let h = rng.gen_range(1.0..120.0);
+    PixelBox::new(x, y, x + w, y + h)
+}
+
+/// A random image: up to 8 detections against up to 8 ground truths.
+fn random_image(rng: &mut StdRng) -> (Vec<Detection>, Vec<PixelBox>) {
+    let n_det = rng.gen_range(0..9usize);
+    let n_gt = rng.gen_range(0..9usize);
+    let dets = (0..n_det)
+        .map(|_| Detection {
+            bbox: random_box(rng),
+            score: rng.gen_range(0.0..1.0),
+        })
+        .collect();
+    let gts = (0..n_gt).map(|_| random_box(rng)).collect();
+    (dets, gts)
+}
+
+proptest! {
+    #[test]
+    fn precision_recall_and_ap_stay_in_range(seed in 0u64..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_images = rng.gen_range(1..6usize);
+        let per_image: Vec<_> = (0..n_images).map(|_| random_image(&mut rng)).collect();
+
+        for (dets, gts) in &per_image {
+            let counts = match_detections(dets, gts);
+            prop_assert!((0.0..=1.0).contains(&counts.precision()));
+            prop_assert!((0.0..=1.0).contains(&counts.recall()));
+        }
+        let metrics = evaluate_dataset(&per_image);
+        prop_assert!((0.0..=100.0).contains(&metrics.precision), "precision {}", metrics.precision);
+        prop_assert!((0.0..=100.0).contains(&metrics.recall), "recall {}", metrics.recall);
+        let ap = average_precision(&per_image);
+        prop_assert!((0.0..=100.0).contains(&ap), "ap {ap}");
+    }
+
+    #[test]
+    fn perfect_predictions_score_perfectly(seed in 0u64..400) {
+        // Predicting exactly the ground-truth boxes must give 100/100
+        // (every detection has an identical box available at IoU = 1).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_gt = rng.gen_range(1..9usize);
+        let gts: Vec<PixelBox> = (0..n_gt).map(|_| random_box(&mut rng)).collect();
+        let dets: Vec<Detection> = gts
+            .iter()
+            .map(|b| Detection { bbox: *b, score: rng.gen_range(0.1..1.0) })
+            .collect();
+
+        let counts = match_detections(&dets, &gts);
+        prop_assert_eq!((counts.tp, counts.fp, counts.fn_), (n_gt, 0, 0));
+        let metrics = evaluate_dataset(&[(dets.clone(), gts.clone())]);
+        prop_assert!((metrics.precision - 100.0).abs() < 1e-9);
+        prop_assert!((metrics.recall - 100.0).abs() < 1e-9);
+        let ap = average_precision(&[(dets, gts)]);
+        prop_assert!((ap - 100.0).abs() < 1e-9, "ap {ap}");
+    }
+
+    #[test]
+    fn empty_predictions_recall_nothing(seed in 0u64..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_gt = rng.gen_range(1..9usize);
+        let gts: Vec<PixelBox> = (0..n_gt).map(|_| random_box(&mut rng)).collect();
+
+        let counts = match_detections(&[], &gts);
+        prop_assert_eq!((counts.tp, counts.fp, counts.fn_), (0, 0, n_gt));
+        prop_assert_eq!(counts.recall(), 0.0);
+        // No predictions means no false positives, so precision keeps
+        // its vacuous-truth convention.
+        prop_assert_eq!(counts.precision(), 1.0);
+        prop_assert_eq!(average_precision(&[(Vec::new(), gts)]), 0.0);
+    }
+
+    #[test]
+    fn no_ground_truth_box_is_matched_twice(seed in 0u64..400) {
+        // Conservation: every detection is TP or FP, every ground truth
+        // is matched (by exactly one detection) or FN. If the matcher
+        // ever credited one ground-truth box to two detections, tp
+        // would exceed the ground-truth count or break these sums.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (dets, gts) = random_image(&mut rng);
+        let counts = match_detections(&dets, &gts);
+        prop_assert_eq!(counts.tp + counts.fp, dets.len());
+        prop_assert_eq!(counts.tp + counts.fn_, gts.len());
+        prop_assert!(counts.tp <= gts.len());
+        prop_assert!(counts.tp <= dets.len());
+    }
+}

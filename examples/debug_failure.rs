@@ -15,7 +15,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut train = Dataset::default();
     for (k, n) in [(1usize, 400usize), (2, 400)] {
         let src = scenic::gta::scenarios::generic_n_cars(k);
-        train = train.concat(&Dataset::from_source(&src, world.core(), n, 10 + k as u64)?);
+        train = train.concat(&Dataset::from_source(
+            &src,
+            world.core(),
+            n,
+            10 + k as u64,
+            4,
+        )?);
     }
     let model = Detector::train(&train.images);
 
@@ -26,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         world.core(),
         300,
         99,
+        4,
     )?;
     let runs = model.run_on(&probe.images, 5);
     let mut seed_case = None;
@@ -58,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("close to the camera", close.as_str()),
         ("close + shallow angle", shallow.as_str()),
     ] {
-        let variant = Dataset::from_source(src, world.core(), 150, 7)?;
+        let variant = Dataset::from_source(src, world.core(), 150, 7, 4)?;
         let m = model.evaluate(&variant.images, 3);
         println!(
             "  variant {name:<24} precision {:5.1}%  recall {:5.1}%",

@@ -12,6 +12,8 @@
 //!               [--repeat R] [--format json|gta|wbt|summary]
 //!               [--out DIR] [--stats]
 //! scenic bench-pool <file>... [--world W] [--jobs J] [--seed S]
+//! scenic exp    <name>... [--scale S] [--seed N] [--jobs J]
+//!               [--json PATH] [--md PATH]
 //! scenic serve  [--host H] [--port P]
 //! scenic client <action> [<file>...] [--addr HOST:PORT] [sample options]
 //! ```
@@ -37,6 +39,16 @@
 //! `bench-pool` measures what the persistent worker pool buys: it times
 //! `sample_batch` per call under the scoped-spawn strategy (fresh
 //! threads per call) and the persistent pool, at batch sizes 1/8/64.
+//!
+//! `exp` reproduces the paper's evaluation: each named experiment (or
+//! `all`) drives the full sample → render → train → evaluate pipeline
+//! through [`scenic::bench::harness`], prints the paper-vs-measured
+//! tables, and reduces the paper's qualitative claims to shape-check
+//! verdicts. Exit code 0 means every check HOLDS, 1 that one was
+//! VIOLATED (or the pipeline failed), 2 a usage error. `--json` /
+//! `--md` write the `scenic-exp/v1` artifact and a markdown report —
+//! both byte-identical across runs and `--jobs` values (timings go to
+//! stderr only).
 //!
 //! `serve` runs `scenicd`, the long-running scenario daemon: one shared
 //! worker pool and compiled-scenario cache serve every client, and
@@ -100,6 +112,8 @@ usage:
                 [--min-radius R] [--heading LO,HI] [--heading-tolerance D]
                 [--max-distance M] [--min-width W]
   scenic bench-pool <file>... [--world gta|mars|bare] [--jobs J] [--seed S]
+  scenic exp    <name>... [--scale S] [--seed N] [--jobs J]
+                [--json PATH] [--md PATH]
   scenic serve  [--host H] [--port P]
   scenic client <action> [<file>...] [--addr HOST:PORT]
                 [sample/lint options]
@@ -129,6 +143,9 @@ options:
   --stats       print rejection-sampling, pruning, and compile-cache
                 statistics to stderr
   --ppm         also write a top-down scene_NNNN.ppm (needs --out)
+  --scale S     (exp) dataset scale factor, positive (default 1.0)
+  --json PATH   (exp) write the scenic-exp/v1 JSON artifact
+  --md PATH     (exp) write a markdown report
 
 `prune-report` regenerates the paper's Appendix D pruning comparison
 from one guarded batch per scenario: candidates whose draws land
@@ -141,6 +158,15 @@ enabling orientation pruning), --heading-tolerance (deg),
 
 `bench-pool` compares scoped-spawn vs persistent-pool batch sampling
 per call at batch sizes 1/8/64 (its --jobs defaults to 8).
+
+`exp` reproduces the paper's evaluation tables/figures end-to-end
+(sample → render → train → evaluate the surrogate detector). <name> is
+one of table6, table7, table8, table9, table10, fig36, conditions,
+pruning, ablation, or all. --scale scales dataset sizes (default 1.0);
+--seed overrides the per-experiment default seeds; --json/--md write
+the scenic-exp/v1 artifact and a markdown report (byte-identical for
+any --jobs). Exit 0 iff every shape check HOLDS, 1 on a VIOLATED
+check, 2 on usage errors.
 
 `serve` runs scenicd, the long-running scenario daemon (--host default
 127.0.0.1, --port default 7907): all clients share one worker pool and
@@ -165,6 +191,9 @@ struct Options {
     world: String,
     n: usize,
     seed: u64,
+    /// Whether `--seed` was given explicitly (`exp` distinguishes
+    /// per-experiment default seeds from a user override).
+    seed_given: bool,
     /// `None` until `--jobs` is given: `sample` defaults to all cores,
     /// `bench-pool` to 8 (the worker count the pool is sized against).
     jobs: Option<usize>,
@@ -195,6 +224,12 @@ struct Options {
     addr: String,
     /// `client sample` daemon-side request deadline override.
     timeout_ms: Option<u64>,
+    /// `exp` dataset scale factor.
+    scale: f64,
+    /// `exp` machine-readable artifact path (`scenic-exp/v1` JSON).
+    json_out: Option<String>,
+    /// `exp` markdown report path.
+    md_out: Option<String>,
 }
 
 fn default_jobs() -> usize {
@@ -215,6 +250,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         world: "gta".into(),
         n: 1,
         seed: 0,
+        seed_given: false,
         jobs: None,
         repeat: 1,
         format: "summary".into(),
@@ -233,6 +269,9 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         port: 7907,
         addr: "127.0.0.1:7907".into(),
         timeout_ms: None,
+        scale: 1.0,
+        json_out: None,
+        md_out: None,
     };
     let mut args = args.peekable();
     let mut format_given = false;
@@ -251,7 +290,17 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                 options.seed = take("--seed")?
                     .parse()
                     .map_err(|_| "--seed needs an integer")?;
+                options.seed_given = true;
             }
+            "--scale" => {
+                options.scale = take("--scale")?
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .ok_or("--scale needs a positive number")?;
+            }
+            "--json" => options.json_out = Some(take("--json")?),
+            "--md" => options.md_out = Some(take("--md")?),
             "--jobs" => {
                 options.jobs = Some(
                     take("--jobs")?
@@ -347,11 +396,23 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         }
     }
     if options.files.is_empty() && options.command != "serve" {
-        return Err(if options.command == "client" {
-            "client needs an action (sample, compile, lint, status, stats, health, shutdown)".into()
-        } else {
-            "missing input file".into()
+        return Err(match options.command.as_str() {
+            "client" => {
+                "client needs an action (sample, compile, lint, status, stats, health, shutdown)"
+                    .into()
+            }
+            "exp" => format!(
+                "exp needs an experiment name ({}, or all)",
+                scenic::bench::harness::EXPERIMENT_IDS.join(", ")
+            ),
+            _ => "missing input file".into(),
         });
+    }
+    if options.command == "exp" {
+        for name in &options.files {
+            // Resolve names at parse time so typos exit 2 with usage.
+            scenic::bench::harness::expand(name).map_err(|e| e.to_string())?;
+        }
     }
     if !matches!(options.world.as_str(), "gta" | "mars" | "bare") {
         return Err(format!(
@@ -729,6 +790,70 @@ fn client_err(e: ClientError) -> CliError {
     CliError::Other(e.to_string())
 }
 
+/// `exp`: reproduce the paper's experiments through the shared harness.
+/// Everything on stdout and in the `--json`/`--md` artifacts is
+/// deterministic (identical across runs and `--jobs` values); timings
+/// and work counters go to stderr.
+fn exp_command(options: &Options) -> Result<ExitCode, CliError> {
+    use scenic::bench::harness::{self, ExpConfig};
+    use scenic::bench::report::{self, RunConfig};
+
+    let cfg = ExpConfig {
+        scale: options.scale,
+        seed: options.seed_given.then_some(options.seed),
+        jobs: options.jobs.unwrap_or_else(default_jobs),
+    };
+    let mut ids: Vec<&'static str> = Vec::new();
+    for name in &options.files {
+        for id in harness::expand(name).map_err(|e| e.to_string())? {
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+    }
+    let world = scenic::bench::standard_world();
+    let mut reports = Vec::new();
+    for id in ids {
+        let report = harness::run_experiment(id, &world, &cfg).map_err(|e| e.to_string())?;
+        print!("{}", report.to_text());
+        println!();
+        eprintln!(
+            "[{id}] {:.0} ms: {} scenes sampled, {} images rendered, {} sampler iterations",
+            report.wall_ms,
+            report.counters.scenes,
+            report.counters.images,
+            report.counters.iterations
+        );
+        reports.push(report);
+    }
+    let run_config = RunConfig {
+        scale: cfg.scale,
+        seed: cfg.seed,
+    };
+    if let Some(path) = &options.json_out {
+        std::fs::write(path, report::to_json(&reports, &run_config))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &options.md_out {
+        std::fs::write(path, report::to_markdown(&reports, &run_config))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    let held: usize = reports
+        .iter()
+        .flat_map(|r| &r.checks)
+        .filter(|c| c.holds)
+        .count();
+    let total: usize = reports.iter().map(|r| r.checks.len()).sum();
+    println!("{held}/{total} shape checks hold");
+    Ok(if held == total {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 /// `serve`: run the scenicd daemon on the calling thread until a client
 /// asks it to shut down.
 fn serve(options: &Options) -> Result<ExitCode, CliError> {
@@ -1057,6 +1182,7 @@ fn run(options: &Options) -> Result<ExitCode, CliError> {
             bench_pool(options, &world)?;
             Ok(ExitCode::SUCCESS)
         }
+        "exp" => exp_command(options),
         "serve" => serve(options),
         "client" => client_command(options),
         other => Err(CliError::Other(format!("unknown command `{other}`"))),

@@ -24,7 +24,11 @@
 //! - [`mars`]: the Mars-rover robotics workspace of Fig. 4/§A.12;
 //! - [`serve`]: `scenicd`, a long-running scenario service sharing one
 //!   worker pool and compiled-scenario cache across clients over a
-//!   length-prefixed JSON protocol, with its client library.
+//!   length-prefixed JSON protocol, with its client library;
+//! - [`mod@bench`]: the experiment layer behind `scenic exp` — typed
+//!   drivers regenerating the paper's §6/Appendix D tables and
+//!   figures, with shape-check verdicts and the `scenic-exp/v1`
+//!   artifact writers.
 //!
 //! # Quickstart
 //!
@@ -55,6 +59,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use scenic_bench as bench;
 pub use scenic_core as core;
 pub use scenic_detect as detect;
 pub use scenic_geom as geom;

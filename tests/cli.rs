@@ -764,3 +764,108 @@ fn client_needs_an_action() {
         stderr(&out)
     );
 }
+
+// ---------------------------------------------------------------------
+// scenic exp: the experiment harness front end. Golden-output tests at
+// a tiny scale — the artifact must be byte-identical across runs, carry
+// the scenic-exp/v1 schema with complete shape-check records, and the
+// usual usage errors must exit 2 before any experiment runs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn exp_json_artifact_is_byte_identical_and_schema_complete() {
+    let dir = std::env::temp_dir().join("scenic-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("exp_golden_a.json");
+    let b = dir.join("exp_golden_b.json");
+    let run_once = |path: &std::path::Path| {
+        let out = run(&[
+            "exp",
+            "table6",
+            "--scale",
+            "0.02",
+            "--json",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        assert!(stdout(&out).contains("shape check"), "{}", stdout(&out));
+        std::fs::read(path).unwrap()
+    };
+    let first = run_once(&a);
+    let second = run_once(&b);
+    assert_eq!(first, second, "exp JSON artifact is not reproducible");
+
+    let value: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&first).unwrap()).unwrap();
+    let top = value.as_object().expect("artifact is an object");
+    assert_eq!(
+        top.get("schema").and_then(serde_json::Value::as_str),
+        Some("scenic-exp/v1")
+    );
+    assert!(top.get("all_hold").is_some(), "all_hold missing");
+    let experiments = top
+        .get("experiments")
+        .and_then(serde_json::Value::as_array)
+        .expect("experiments array");
+    assert_eq!(experiments.len(), 1);
+    let exp = experiments[0].as_object().unwrap();
+    assert_eq!(
+        exp.get("id").and_then(serde_json::Value::as_str),
+        Some("table6")
+    );
+    let checks = exp
+        .get("checks")
+        .and_then(serde_json::Value::as_array)
+        .expect("checks array");
+    assert!(!checks.is_empty(), "table6 must report shape checks");
+    for check in checks {
+        let check = check.as_object().expect("check is an object");
+        for field in ["name", "holds", "detail"] {
+            assert!(
+                check.get(field).is_some(),
+                "shape check missing field {field}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exp_unknown_experiment_is_rejected_before_running() {
+    let out = run(&["exp", "table99"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("unknown experiment"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn exp_zero_scale_is_rejected() {
+    let out = run(&["exp", "table6", "--scale", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--scale"), "{}", stderr(&out));
+}
+
+#[test]
+fn exp_markdown_artifact_lists_tables_and_verdicts() {
+    let dir = std::env::temp_dir().join("scenic-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let md_path = dir.join("exp_golden.md");
+    let out = run(&[
+        "exp",
+        "fig36",
+        "--scale",
+        "0.02",
+        "--md",
+        md_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let md = std::fs::read_to_string(&md_path).unwrap();
+    assert!(md.contains("# Scenic experiment reproduction"), "{md}");
+    assert!(
+        md.contains("**HOLDS**") || md.contains("**VIOLATED**"),
+        "{md}"
+    );
+    assert!(md.contains("| source |"), "{md}");
+}

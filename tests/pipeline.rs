@@ -12,8 +12,8 @@ fn world() -> World {
 #[test]
 fn scenario_to_metrics_end_to_end() {
     let w = world();
-    let train = Dataset::from_source(scenarios::TWO_CARS, w.core(), 120, 1).unwrap();
-    let test = Dataset::from_source(scenarios::TWO_CARS, w.core(), 40, 2).unwrap();
+    let train = Dataset::from_source(scenarios::TWO_CARS, w.core(), 120, 1, 4).unwrap();
+    let test = Dataset::from_source(scenarios::TWO_CARS, w.core(), 40, 2, 1).unwrap();
     let model = Detector::train(&train.images);
     let metrics = model.evaluate(&test.images, 3);
     assert!(metrics.precision > 60.0, "precision {}", metrics.precision);
