@@ -34,6 +34,24 @@ pub struct Counters {
     pub iterations: usize,
 }
 
+/// Generates a dataset through the harness-wide compile cache (see
+/// [`crate::exp_cache`]): scenarios shared across experiments compile
+/// once per process, and at most once per store when `scenic exp`
+/// installed an on-disk artifact store. `world_name` labels `world`
+/// for the cache key; call sites against distinct [`World`] values
+/// must use distinct labels.
+fn dataset(
+    world_name: &str,
+    source: &str,
+    world: &scenic_core::World,
+    n: usize,
+    seed: u64,
+    jobs: usize,
+) -> RunResult<Dataset> {
+    let scenario = crate::exp_compile(world_name, source, world)?;
+    Dataset::generate(&scenario, n, seed, jobs)
+}
+
 impl Counters {
     /// Absorbs the generation cost of a freshly generated dataset.
     pub fn absorb(&mut self, ds: &Dataset) {
@@ -66,7 +84,14 @@ pub fn train_generic(
     let mut train = Dataset::default();
     for k in 1..=4usize {
         let src = scenarios::generic_n_cars(k);
-        let ds = Dataset::from_source(&src, world.core(), per_scenario, seed + k as u64, jobs)?;
+        let ds = dataset(
+            "gta",
+            &src,
+            world.core(),
+            per_scenario,
+            seed + k as u64,
+            jobs,
+        )?;
         counters.absorb(&ds);
         train = train.concat(&ds);
     }
@@ -102,7 +127,8 @@ pub fn conditions(
     let mut good = Dataset::default();
     let mut bad = Dataset::default();
     for k in 1..=4usize {
-        let g = Dataset::from_source(
+        let g = dataset(
+            "gta",
             &scenarios::generic_n_cars(k),
             world.core(),
             test_per_scenario,
@@ -111,7 +137,8 @@ pub fn conditions(
         )?;
         counters.absorb(&g);
         generic = generic.concat(&g);
-        let gd = Dataset::from_source(
+        let gd = dataset(
+            "gta",
             &scenarios::generic_n_cars_good(k),
             world.core(),
             test_per_scenario,
@@ -120,7 +147,8 @@ pub fn conditions(
         )?;
         counters.absorb(&gd);
         good = good.concat(&gd);
-        let bd = Dataset::from_source(
+        let bd = dataset(
+            "gta",
             &scenarios::generic_n_cars_bad(k),
             world.core(),
             test_per_scenario,
@@ -173,7 +201,8 @@ pub fn matrix_mixture(
 ) -> RunResult<Vec<MixtureRow>> {
     let x_matrix = matrix_dataset(world.core(), train_size, 12, seed)?;
     counters.absorb(&x_matrix);
-    let x_overlap = Dataset::from_source(
+    let x_overlap = dataset(
+        "gta",
         scenarios::TWO_OVERLAPPING,
         world.core(),
         train_size / 20 + runs,
@@ -183,7 +212,8 @@ pub fn matrix_mixture(
     counters.absorb(&x_overlap);
     let t_matrix = matrix_dataset(world.core(), test_size, 12, seed + 2)?;
     counters.absorb(&t_matrix);
-    let t_overlap = Dataset::from_source(
+    let t_overlap = dataset(
+        "gta",
         scenarios::TWO_OVERLAPPING,
         world.core(),
         test_size,
@@ -247,14 +277,15 @@ pub fn debugging_variants(
     let case = seed_case(world);
     let mut results = Vec::new();
     // The exact seed scene first (the paper's 33.3% precision image).
-    let exact = Dataset::from_source(&case.exact_source(), world.core(), 1, seed + 7, jobs)?;
+    let exact = dataset("gta", &case.exact_source(), world.core(), 1, seed + 7, jobs)?;
     counters.absorb(&exact);
     results.push((
         "(0) the seed scene itself".to_string(),
         model.evaluate(&exact.images, seed + 8),
     ));
     for (i, (name, src)) in case.variants().into_iter().enumerate() {
-        let ds = Dataset::from_source(
+        let ds = dataset(
+            "gta",
             &src,
             world.core(),
             images_per_variant,
@@ -291,7 +322,8 @@ pub fn retraining(
     // Test set: the enlarged generic test set of §6.4.
     let mut t_generic = Dataset::default();
     for k in 1..=4usize {
-        let ds = Dataset::from_source(
+        let ds = dataset(
+            "gta",
             &scenarios::generic_n_cars(k),
             world.core(),
             test_size / 4,
@@ -312,7 +344,7 @@ pub fn retraining(
     ));
 
     // Classical augmentation of the single misclassified image.
-    let exact = Dataset::from_source(&case.exact_source(), world.core(), 1, seed + 9, jobs)?;
+    let exact = dataset("gta", &case.exact_source(), world.core(), 1, seed + 9, jobs)?;
     counters.absorb(&exact);
     let augmented = Dataset {
         images: augment(&exact.images[0], replace, seed + 10),
@@ -326,7 +358,8 @@ pub fn retraining(
     ));
 
     // Close-car scenario replacement.
-    let close = Dataset::from_source(
+    let close = dataset(
+        "gta",
         &scenarios::one_car_close(),
         world.core(),
         replace,
@@ -342,7 +375,8 @@ pub fn retraining(
     ));
 
     // Close car at a shallow angle.
-    let shallow = Dataset::from_source(
+    let shallow = dataset(
+        "gta",
         &scenarios::one_car_close_shallow(),
         world.core(),
         replace,
@@ -375,9 +409,17 @@ pub fn two_car_mixtures(
     jobs: usize,
     counters: &mut Counters,
 ) -> RunResult<Vec<MixtureRow>> {
-    let x_twocar = Dataset::from_source(scenarios::TWO_CARS, world.core(), train_size, seed, jobs)?;
+    let x_twocar = dataset(
+        "gta",
+        scenarios::TWO_CARS,
+        world.core(),
+        train_size,
+        seed,
+        jobs,
+    )?;
     counters.absorb(&x_twocar);
-    let x_overlap = Dataset::from_source(
+    let x_overlap = dataset(
+        "gta",
         scenarios::TWO_OVERLAPPING,
         world.core(),
         train_size,
@@ -385,10 +427,17 @@ pub fn two_car_mixtures(
         jobs,
     )?;
     counters.absorb(&x_overlap);
-    let t_twocar =
-        Dataset::from_source(scenarios::TWO_CARS, world.core(), test_size, seed + 2, jobs)?;
+    let t_twocar = dataset(
+        "gta",
+        scenarios::TWO_CARS,
+        world.core(),
+        test_size,
+        seed + 2,
+        jobs,
+    )?;
     counters.absorb(&t_twocar);
-    let t_overlap = Dataset::from_source(
+    let t_overlap = dataset(
+        "gta",
         scenarios::TWO_OVERLAPPING,
         world.core(),
         test_size,
@@ -463,9 +512,10 @@ pub fn iou_histogram(
     jobs: usize,
     counters: &mut Counters,
 ) -> RunResult<IouHistogram> {
-    let twocar = Dataset::from_source(scenarios::TWO_CARS, world.core(), images, seed, jobs)?;
+    let twocar = dataset("gta", scenarios::TWO_CARS, world.core(), images, seed, jobs)?;
     counters.absorb(&twocar);
-    let overlap = Dataset::from_source(
+    let overlap = dataset(
+        "gta",
         scenarios::TWO_OVERLAPPING,
         world.core(),
         images,
@@ -515,13 +565,14 @@ impl PruningRow {
 }
 
 fn measure(
+    world_name: &str,
     source: &str,
     world: &scenic_core::World,
     scenes: usize,
     seed: u64,
     counters: &mut Counters,
 ) -> RunResult<(f64, f64)> {
-    let scenario = scenic_core::compile_with_world(source, world)?;
+    let scenario = crate::exp_compile(world_name, source, world)?;
     let mut sampler = Sampler::new(&scenario)
         .with_seed(seed)
         .with_config(SamplerConfig {
@@ -573,6 +624,7 @@ pub fn pruning_comparison(
         min_width: None,
     })?;
     let (ui, ut) = measure(
+        "gta:one-way",
         scenarios::ONCOMING,
         one_way_city.core(),
         scenes,
@@ -580,6 +632,7 @@ pub fn pruning_comparison(
         counters,
     )?;
     let (pi_, pt) = measure(
+        "gta:one-way:pruned",
         scenarios::ONCOMING,
         &oncoming_pruned,
         scenes,
@@ -614,6 +667,7 @@ pub fn pruning_comparison(
         min_width: Some(9.0),
     })?;
     let (ui, ut) = measure(
+        "gta:sparse",
         scenarios::BUMPER_ON_ROAD,
         sparse_arterials.core(),
         scenes,
@@ -621,6 +675,7 @@ pub fn pruning_comparison(
         counters,
     )?;
     let (pi_, pt) = measure(
+        "gta:sparse:pruned",
         scenarios::BUMPER_ON_ROAD,
         &bumper_pruned,
         scenes,
@@ -642,8 +697,16 @@ pub fn pruning_comparison(
         min_radius: 1.0,
         ..PruneParams::default()
     })?;
-    let (ui, ut) = measure(scenarios::TWO_CARS, city.core(), scenes, seed + 2, counters)?;
+    let (ui, ut) = measure(
+        "gta",
+        scenarios::TWO_CARS,
+        city.core(),
+        scenes,
+        seed + 2,
+        counters,
+    )?;
     let (pi_, pt) = measure(
+        "gta:pruned",
         scenarios::TWO_CARS,
         &contain_pruned,
         scenes,
@@ -745,12 +808,18 @@ pub fn ablation(
     let mut rows = Vec::new();
 
     // --- occlusion ablation on the two-car vs overlap gap -----------
-    let train = Dataset::from_source(scenarios::TWO_CARS, world.core(), n_train, 1, jobs)?;
+    let train = dataset("gta", scenarios::TWO_CARS, world.core(), n_train, 1, jobs)?;
     counters.absorb(&train);
-    let t_overlap =
-        Dataset::from_source(scenarios::TWO_OVERLAPPING, world.core(), n_test, 2, jobs)?;
+    let t_overlap = dataset(
+        "gta",
+        scenarios::TWO_OVERLAPPING,
+        world.core(),
+        n_test,
+        2,
+        jobs,
+    )?;
     counters.absorb(&t_overlap);
-    let t_twocar = Dataset::from_source(scenarios::TWO_CARS, world.core(), n_test, 3, jobs)?;
+    let t_twocar = dataset("gta", scenarios::TWO_CARS, world.core(), n_test, 3, jobs)?;
     counters.absorb(&t_twocar);
 
     let full = Detector::train(&train.images);
@@ -773,7 +842,8 @@ pub fn ablation(
     // --- context ablation on the §6.2 conditions gap -----------------
     let mut gen_train = Dataset::default();
     for k in 1..=2usize {
-        let ds = Dataset::from_source(
+        let ds = dataset(
+            "gta",
             &scenarios::generic_n_cars(k),
             world.core(),
             n_train / 2,
@@ -783,7 +853,8 @@ pub fn ablation(
         counters.absorb(&ds);
         gen_train = gen_train.concat(&ds);
     }
-    let t_good = Dataset::from_source(
+    let t_good = dataset(
+        "gta",
         &scenarios::generic_n_cars_good(2),
         world.core(),
         n_test,
@@ -791,7 +862,8 @@ pub fn ablation(
         jobs,
     )?;
     counters.absorb(&t_good);
-    let t_bad = Dataset::from_source(
+    let t_bad = dataset(
+        "gta",
         &scenarios::generic_n_cars_bad(2),
         world.core(),
         n_test,
@@ -818,10 +890,16 @@ pub fn ablation(
     let case = seed_case(world);
     let variants = case.variants();
     // (4) fixes model and color at the seed position; (1) varies them.
-    let close_fixed = Dataset::from_source(&variants[3].1, world.core(), n_test, 30, jobs)?;
+    let close_fixed = dataset("gta", &variants[3].1, world.core(), n_test, 30, jobs)?;
     counters.absorb(&close_fixed);
-    let close_varied =
-        Dataset::from_source(&variants[0].1, world.core(), n_test.min(60), 31, jobs)?;
+    let close_varied = dataset(
+        "gta",
+        &variants[0].1,
+        world.core(),
+        n_test.min(60),
+        31,
+        jobs,
+    )?;
     counters.absorb(&close_varied);
 
     let full = Detector::train(&gen_train.images);

@@ -16,11 +16,55 @@ pub mod harness;
 pub mod report;
 pub mod seed_case;
 
+use scenic_core::cache::ScenarioCache;
+use scenic_core::{ArtifactStore, RunResult, Scenario};
 use scenic_gta::{MapConfig, World};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The standard world every experiment runs against.
 pub fn standard_world() -> World {
     World::generate(MapConfig::default())
+}
+
+static EXP_CACHE: OnceLock<ScenarioCache> = OnceLock::new();
+static PENDING_STORE: Mutex<Option<Arc<ArtifactStore>>> = Mutex::new(None);
+
+/// Installs an on-disk [`ArtifactStore`] under the harness's shared
+/// compile cache, so experiment scenarios persist across processes.
+///
+/// Must be called before the first experiment compiles anything (the
+/// `scenic exp` CLI does this while parsing flags). Returns `false` —
+/// and leaves the already-running cache untouched — if compilation has
+/// started; the store cannot be swapped mid-run.
+pub fn install_store(store: Arc<ArtifactStore>) -> bool {
+    if EXP_CACHE.get().is_some() {
+        return false;
+    }
+    *PENDING_STORE.lock().expect("pending store poisoned") = Some(store);
+    EXP_CACHE.get().is_none()
+}
+
+/// The process-wide compile cache every experiment shares. Scenarios
+/// reused across experiments (`TWO_CARS` alone appears in five of
+/// them) compile once per process — and when [`install_store`] gave
+/// the cache a disk tier, at most once per store.
+pub(crate) fn exp_compile(
+    world_name: &str,
+    source: &str,
+    world: &scenic_core::World,
+) -> RunResult<Arc<Scenario>> {
+    exp_cache().get_or_compile(world_name, source, world)
+}
+
+/// The shared experiment compile cache, for callers that want its hit
+/// and disk-tier counters (the `scenic exp --stats` report).
+pub fn exp_cache() -> &'static ScenarioCache {
+    EXP_CACHE.get_or_init(
+        || match PENDING_STORE.lock().expect("pending store poisoned").take() {
+            Some(store) => ScenarioCache::with_store(store),
+            None => ScenarioCache::new(),
+        },
+    )
 }
 
 /// Parses the scale factor from the command line (default 1.0).

@@ -96,11 +96,56 @@ pub fn compile(source: &str) -> RunResult<Scenario> {
 /// ```
 pub fn compile_with_world(source: &str, world: &World) -> RunResult<Scenario> {
     let program = Arc::new(scenic_lang::parse(source)?);
-    let prelude = Arc::new(scenic_lang::parse(PRELUDE).expect("prelude parses"));
+    assemble_with_world(program, world)
+}
+
+/// The built-in prelude, parsed once per process. Every scenario shares
+/// the same parsed program (it is immutable), so repeated compiles —
+/// and artifact-store loads, which skip parsing the user program — pay
+/// for the prelude parse exactly once.
+pub(crate) fn prelude_program() -> Arc<Program> {
+    static PARSED: std::sync::OnceLock<Arc<Program>> = std::sync::OnceLock::new();
+    Arc::clone(
+        PARSED.get_or_init(|| Arc::new(scenic_lang::parse(PRELUDE).expect("prelude parses"))),
+    )
+}
+
+/// Parses a module library source, memoized process-wide by content
+/// hash: the gta/mars libraries are parsed once no matter how many
+/// scenarios compile against them.
+///
+/// # Errors
+///
+/// Returns the parse error (never cached — parse failures are cheap to
+/// reproduce and callers want them anew).
+pub(crate) fn module_program(source: &str) -> RunResult<Arc<Program>> {
+    use std::collections::hash_map::Entry;
+    static PARSED: std::sync::Mutex<Option<HashMap<u64, Arc<Program>>>> =
+        std::sync::Mutex::new(None);
+    let key = crate::cache::source_hash(source);
+    let mut cache = PARSED.lock().expect("module parse cache poisoned");
+    match cache.get_or_insert_with(HashMap::new).entry(key) {
+        Entry::Occupied(e) => Ok(Arc::clone(e.get())),
+        Entry::Vacant(v) => {
+            let program = Arc::new(scenic_lang::parse(source)?);
+            Ok(Arc::clone(v.insert(program)))
+        }
+    }
+}
+
+/// Assembles a [`Scenario`] from an already-parsed user program — the
+/// shared back half of [`compile_with_world`] and the artifact store's
+/// load path (which decodes the program from bytes instead of parsing).
+///
+/// # Errors
+///
+/// Returns parse errors from any module library source.
+pub(crate) fn assemble_with_world(program: Arc<Program>, world: &World) -> RunResult<Scenario> {
+    let prelude = prelude_program();
     let mut module_programs = HashMap::new();
     for (name, module) in &world.modules {
         if let Some(src) = &module.source {
-            module_programs.insert(name.clone(), Arc::new(scenic_lang::parse(src)?));
+            module_programs.insert(name.clone(), module_program(src)?);
         }
     }
     Ok(Scenario {

@@ -51,6 +51,7 @@ pub mod prune;
 pub mod sampler;
 pub mod scene;
 pub mod specifier;
+pub mod store;
 pub mod value;
 pub mod world;
 
@@ -63,7 +64,8 @@ pub use interp::{compile, compile_with_world, Interpreter, Scenario};
 pub use pool::WorkerPool;
 pub use prune::{PruneParams, PrunePlan};
 pub use sampler::{derive_scene_seed, BatchReport, Sampler, SamplerConfig, SamplerStats};
-pub use scene::{PropValue, Scene, SceneObject};
+pub use scene::{batch_digest, scene_digest, PropValue, Scene, SceneObject};
+pub use store::{ArtifactStore, LedgerKey, LedgerOutcome, StoreError, STORE_FORMAT_VERSION};
 pub use value::Value;
 pub use world::{Module, NativeValue, World};
 

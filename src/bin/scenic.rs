@@ -58,11 +58,15 @@
 //! through [`scenic::serve::format`], and scene RNG streams depend only
 //! on the seed and scene index).
 
+use scenic::core::cache::source_hash;
 use scenic::core::compile::Engine;
 use scenic::core::diag::{render_json, render_line, render_text, Diagnostic, Severity};
 use scenic::core::prune::{PruneDecision, PrunePlan};
 use scenic::core::sampler::{Sampler, SamplerConfig, SamplerStats};
-use scenic::core::{analyze, compile_with_world, PruneParams, ScenarioCache, ScenicError, World};
+use scenic::core::{
+    analyze, batch_digest, compile_with_world, ArtifactStore, LedgerKey, PruneParams,
+    ScenarioCache, ScenicError, StoreError, World,
+};
 use scenic::prelude::{Scene, Vec2};
 use scenic::serve::format::{file_extension, render_scene};
 use scenic::serve::proto::{Request, Response, SampleRequest};
@@ -114,12 +118,18 @@ usage:
   scenic bench-pool <file>... [--world gta|mars|bare] [--jobs J] [--seed S]
   scenic exp    <name>... [--scale S] [--seed N] [--jobs J]
                 [--json PATH] [--md PATH]
+  scenic store  verify [--store DIR]
   scenic serve  [--host H] [--port P]
   scenic client <action> [<file>...] [--addr HOST:PORT]
                 [sample/lint options]
 
 options:
   --world W     world/library to compile against (default: gta)
+  --store DIR   on-disk artifact store directory. Default: the
+                SCENIC_STORE environment variable, else ~/.cache/scenic
+                (SCENIC_STORE=off, an empty value, or --no-store
+                disables the store)
+  --no-store    compile in-memory only; never touch the artifact store
   --deny warnings
                 (lint) exit 1 when any warning fires
   -n N          number of scenes to sample (default: 1)
@@ -158,6 +168,13 @@ enabling orientation pruning), --heading-tolerance (deg),
 
 `bench-pool` compares scoped-spawn vs persistent-pool batch sampling
 per call at batch sizes 1/8/64 (its --jobs defaults to 8).
+
+`store verify` audits the artifact store's digest ledger: every
+recorded sampling run is replayed from the stored compiled artifact
+and its batch digest compared against the pinned one. Entries whose
+artifact is missing (or whose world this binary cannot rebuild) are
+skipped with a warning; a digest mismatch is reported as diagnostic
+E301 (store-digest-divergence) and exits 1.
 
 `exp` reproduces the paper's evaluation tables/figures end-to-end
 (sample → render → train → evaluate the surrogate detector). <name> is
@@ -230,6 +247,10 @@ struct Options {
     json_out: Option<String>,
     /// `exp` markdown report path.
     md_out: Option<String>,
+    /// `--store DIR`: explicit artifact store directory.
+    store: Option<String>,
+    /// `--no-store`: never touch the on-disk artifact store.
+    no_store: bool,
 }
 
 fn default_jobs() -> usize {
@@ -272,6 +293,8 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         scale: 1.0,
         json_out: None,
         md_out: None,
+        store: None,
+        no_store: false,
     };
     let mut args = args.peekable();
     let mut format_given = false;
@@ -329,6 +352,8 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                 options.deny_warnings = true;
             }
             "--out" => options.out = Some(take("--out")?),
+            "--store" => options.store = Some(take("--store")?),
+            "--no-store" => options.no_store = true,
             "--stats" => options.stats = true,
             "--ppm" => options.ppm = true,
             "--prune" | "--prune=on" => options.prune = true,
@@ -401,6 +426,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                 "client needs an action (sample, compile, lint, status, stats, health, shutdown)"
                     .into()
             }
+            "store" => "store needs an action (verify)".into(),
             "exp" => format!(
                 "exp needs an experiment name ({}, or all)",
                 scenic::bench::harness::EXPERIMENT_IDS.join(", ")
@@ -469,6 +495,40 @@ fn build_world(name: &str) -> LoadedWorld {
     }
 }
 
+/// Resolves the on-disk artifact store for this invocation:
+/// `--no-store` wins, then `--store DIR`, then the `SCENIC_STORE`
+/// environment variable (`off` or an empty value disables), then the
+/// default `~/.cache/scenic`. An explicitly requested directory that
+/// cannot be opened is a hard error; the implicit default failing (no
+/// home directory, unwritable cache) silently runs store-less — the
+/// store is an optimization, not a dependency.
+fn resolve_store(options: &Options) -> Result<Option<Arc<ArtifactStore>>, CliError> {
+    if options.no_store {
+        return Ok(None);
+    }
+    let explicit = options
+        .store
+        .clone()
+        .or_else(|| std::env::var("SCENIC_STORE").ok());
+    match explicit {
+        Some(dir) if dir.is_empty() || dir == "off" => Ok(None),
+        Some(dir) => ArtifactStore::open(&dir)
+            .map(|store| Some(Arc::new(store)))
+            .map_err(|e| CliError::Other(format!("store {dir}: {e}"))),
+        None => Ok(ArtifactStore::default_dir()
+            .and_then(|dir| ArtifactStore::open(dir).ok())
+            .map(Arc::new)),
+    }
+}
+
+/// A [`ScenarioCache`] layered over the resolved store (when any).
+fn resolve_cache(options: &Options) -> Result<ScenarioCache, CliError> {
+    Ok(match resolve_store(options)? {
+        Some(store) => ScenarioCache::with_store(store),
+        None => ScenarioCache::new(),
+    })
+}
+
 /// Renders a 60 m top-down view centered on the ego.
 fn write_ppm(
     scene: &Scene,
@@ -525,7 +585,8 @@ fn unique_stems(files: &[String]) -> Vec<String> {
         .collect()
 }
 
-/// One sampling round of one scenario: draw `n` scenes, write them out.
+/// One sampling round of one scenario: draw `n` scenes, write them
+/// out, and return the batch digest (for the store's audit ledger).
 #[allow(clippy::too_many_arguments)]
 fn sample_round(
     options: &Options,
@@ -537,7 +598,7 @@ fn sample_round(
     rep: usize,
     jobs: usize,
     total: &mut SamplerStats,
-) -> Result<(), CliError> {
+) -> Result<u64, CliError> {
     let seed = options.seed.wrapping_add(rep as u64);
     let mut sampler = Sampler::new(scenario)
         .with_seed(seed)
@@ -548,6 +609,7 @@ fn sample_round(
     let scenes = sampler
         .sample_batch(options.n, jobs)
         .map_err(|e| scenic_err(file, source, e))?;
+    let digest = batch_digest(&scenes);
     // Per-scene output names must stay unique across scenarios and
     // rounds sharing one --out directory.
     let multi_file = options.files.len() > 1;
@@ -586,7 +648,43 @@ fn sample_round(
         }
     }
     total.merge(&sampler.stats());
-    Ok(())
+    Ok(digest)
+}
+
+/// Pins one sampling round's batch digest in the store's audit ledger.
+/// Divergence from an already-pinned digest is the loud, typed E301
+/// failure; any other ledger trouble (unwritable directory, malformed
+/// ledger file) degrades to a warning — sampling already succeeded.
+fn record_round(
+    store: &ArtifactStore,
+    options: &Options,
+    source: &str,
+    rep: usize,
+    jobs: usize,
+    digest: u64,
+) -> Result<(), CliError> {
+    let key = LedgerKey {
+        scenario: source_hash(source),
+        world: options.world.clone(),
+        seed: options.seed.wrapping_add(rep as u64),
+        jobs,
+        n: options.n,
+        engine: options.engine.to_string(),
+    };
+    match store.record(&key, digest) {
+        Ok(_) => Ok(()),
+        Err(err @ StoreError::Divergence { .. }) => {
+            let d = Diagnostic::global(scenic::core::Code::StoreDigestDivergence, err.to_string());
+            eprintln!("{}", render_line(&d));
+            Err(CliError::Other(
+                "ledger digest divergence (see diagnostic above)".into(),
+            ))
+        }
+        Err(err) => {
+            eprintln!("warning: ledger not updated: {err}");
+            Ok(())
+        }
+    }
 }
 
 /// Mean wall-clock per call of `f`, in microseconds (one warm-up call,
@@ -790,6 +888,126 @@ fn client_err(e: ClientError) -> CliError {
     CliError::Other(e.to_string())
 }
 
+/// The `--stats` disk-tier section: per-tier counters of the artifact
+/// store plus the audit-ledger activity, or `store: off`.
+fn print_store_stats(store: Option<&Arc<ArtifactStore>>) {
+    match store {
+        Some(store) => {
+            eprintln!(
+                "store {}: {} disk hit(s), {} disk miss(es), {} corrupt entr{}, {} write(s)",
+                store.base().display(),
+                store.disk_hits(),
+                store.disk_misses(),
+                store.corrupt_entries(),
+                if store.corrupt_entries() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                store.writes(),
+            );
+            eprintln!(
+                "ledger: {} digest(s) recorded, {} confirmed",
+                store.ledger_recorded(),
+                store.ledger_confirmed(),
+            );
+        }
+        None => eprintln!("store: off"),
+    }
+}
+
+/// `store verify`: replay every ledger entry from the stored artifact
+/// and compare batch digests. Skips (with a stderr warning) entries
+/// whose artifact is gone or whose world/engine this binary cannot
+/// rebuild; reports divergences as E301 diagnostics and exits 1.
+fn store_verify(options: &Options) -> Result<ExitCode, CliError> {
+    let store = resolve_store(options)?.ok_or_else(|| {
+        CliError::Other(
+            "store verify: no store configured (pass --store DIR or set SCENIC_STORE)".into(),
+        )
+    })?;
+    let entries = store.ledger_entries().map_err(|e| e.to_string())?;
+    let total = entries.len();
+    let mut worlds: std::collections::HashMap<String, LoadedWorld> =
+        std::collections::HashMap::new();
+    let (mut verified, mut skipped) = (0usize, 0usize);
+    let mut diverged = false;
+    for (key, recorded) in entries {
+        if !matches!(key.world.as_str(), "gta" | "mars" | "bare") {
+            eprintln!(
+                "skipping {:016x} ({}): this binary cannot rebuild that world",
+                key.scenario, key.world
+            );
+            skipped += 1;
+            continue;
+        }
+        let engine = match key.engine.parse::<Engine>() {
+            Ok(engine) => engine,
+            Err(_) => {
+                eprintln!(
+                    "skipping {:016x} ({}): unknown engine `{}`",
+                    key.scenario, key.world, key.engine
+                );
+                skipped += 1;
+                continue;
+            }
+        };
+        let world = worlds
+            .entry(key.world.clone())
+            .or_insert_with(|| build_world(&key.world));
+        let Some(scenario) = store.load_by_hash(&key.world, key.scenario, &world.core) else {
+            eprintln!(
+                "skipping {:016x} ({}): artifact not in store (evicted or never written here)",
+                key.scenario, key.world
+            );
+            skipped += 1;
+            continue;
+        };
+        let mut sampler = Sampler::new(&scenario)
+            .with_seed(key.seed)
+            .with_engine(engine);
+        let scenes = sampler
+            .sample_batch(key.n, key.jobs.max(1))
+            .map_err(|e| format!("resampling {:016x} ({}): {e}", key.scenario, key.world))?;
+        let fresh = batch_digest(&scenes);
+        if fresh == recorded {
+            verified += 1;
+        } else {
+            let err = StoreError::Divergence {
+                key,
+                recorded,
+                fresh,
+            };
+            let d = Diagnostic::global(scenic::core::Code::StoreDigestDivergence, err.to_string());
+            eprintln!("{}", render_line(&d));
+            diverged = true;
+        }
+    }
+    println!(
+        "store {}: {verified} of {total} ledger entr{} verified, {skipped} skipped, {} diverged",
+        store.base().display(),
+        if total == 1 { "y" } else { "ies" },
+        total - verified - skipped,
+    );
+    Ok(if diverged {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// `store`: audit subcommands for the on-disk artifact store.
+fn store_command(options: &Options) -> Result<ExitCode, CliError> {
+    let (action, _) = options
+        .files
+        .split_first()
+        .expect("parse_args requires an action");
+    match action.as_str() {
+        "verify" => store_verify(options),
+        other => Err(format!("unknown store action `{other}` (expected verify)").into()),
+    }
+}
+
 /// `exp`: reproduce the paper's experiments through the shared harness.
 /// Everything on stdout and in the `--json`/`--md` artifacts is
 /// deterministic (identical across runs and `--jobs` values); timings
@@ -810,6 +1028,11 @@ fn exp_command(options: &Options) -> Result<ExitCode, CliError> {
                 ids.push(id);
             }
         }
+    }
+    // Persist experiment compiles across processes: repeated `exp`
+    // runs skip straight to sampling.
+    if let Some(store) = resolve_store(options)? {
+        scenic::bench::install_store(store);
     }
     let world = scenic::bench::standard_world();
     let mut reports = Vec::new();
@@ -840,6 +1063,15 @@ fn exp_command(options: &Options) -> Result<ExitCode, CliError> {
             .map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote {path}");
     }
+    if options.stats {
+        let cache = scenic::bench::exp_cache();
+        eprintln!(
+            "compiled {} scenario(s), {} cache hit(s)",
+            cache.misses(),
+            cache.hits(),
+        );
+        print_store_stats(cache.store());
+    }
     let held: usize = reports
         .iter()
         .flat_map(|r| &r.checks)
@@ -858,7 +1090,13 @@ fn exp_command(options: &Options) -> Result<ExitCode, CliError> {
 /// asks it to shut down.
 fn serve(options: &Options) -> Result<ExitCode, CliError> {
     let addr = format!("{}:{}", options.host, options.port);
-    let server = Server::bind(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    // A store-backed daemon cache survives restarts: a warm store
+    // serves the first request after a restart without recompiling.
+    let config = scenic::serve::ServerConfig {
+        store: resolve_store(options)?,
+        ..scenic::serve::ServerConfig::default()
+    };
+    let server = Server::bind_with(addr.as_str(), config).map_err(|e| format!("{addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
     // Scripts (and the CI smoke test) parse this line for the port, so
     // it must hit the pipe before the accept loop blocks.
@@ -1012,6 +1250,16 @@ fn client_command(options: &Options) -> Result<ExitCode, CliError> {
                 "cache: {} scenario(s), {} hit(s), {} miss(es); {} protocol error(s)",
                 stats.cache_entries, stats.cache_hits, stats.cache_misses, stats.protocol_errors,
             );
+            if !stats.store_dir.is_empty() {
+                println!(
+                    "store {}: {} disk hit(s), {} disk miss(es), {} corrupt, {} write(s)",
+                    stats.store_dir,
+                    stats.disk_hits,
+                    stats.disk_misses,
+                    stats.disk_corrupt,
+                    stats.disk_writes,
+                );
+            }
             for (name, scenes) in &stats.per_scenario {
                 println!("  {name}: {scenes} scene(s)");
             }
@@ -1048,7 +1296,7 @@ fn run(options: &Options) -> Result<ExitCode, CliError> {
         }
         "check" => {
             let world = build_world(&options.world);
-            let cache = ScenarioCache::new();
+            let cache = resolve_cache(options)?;
             let mut failed = false;
             for file in &options.files {
                 let source = read_source(file)?;
@@ -1086,7 +1334,7 @@ fn run(options: &Options) -> Result<ExitCode, CliError> {
         }
         "lint" => {
             let world = build_world(&options.world);
-            let cache = ScenarioCache::new();
+            let cache = resolve_cache(options)?;
             let mut any_error = false;
             let mut any_warning = false;
             for file in &options.files {
@@ -1127,7 +1375,9 @@ fn run(options: &Options) -> Result<ExitCode, CliError> {
             // One cache for the whole invocation: a scenario listed
             // twice, or sampled for --repeat rounds, compiles once (and
             // prunes once: the plan is cached on the compiled scenario).
-            let cache = ScenarioCache::new();
+            // With a store resolved, the compile is skipped entirely
+            // when a previous process persisted the same scenario.
+            let cache = resolve_cache(options)?;
             let mut total = SamplerStats::default();
             let mut plans: Vec<(String, Arc<PrunePlan>)> = Vec::new();
             let mut decisions: Vec<(String, Vec<PruneDecision>)> = Vec::new();
@@ -1144,9 +1394,12 @@ fn run(options: &Options) -> Result<ExitCode, CliError> {
                         }
                         decisions.push((file.clone(), scenario.derived_prune_decisions()));
                     }
-                    sample_round(
+                    let digest = sample_round(
                         options, &world, &scenario, file, &source, stem, rep, jobs, &mut total,
                     )?;
+                    if let Some(store) = cache.store() {
+                        record_round(store, options, &source, rep, jobs, digest)?;
+                    }
                 }
             }
             if options.stats {
@@ -1169,6 +1422,7 @@ fn run(options: &Options) -> Result<ExitCode, CliError> {
                     cache.misses(),
                     cache.hits(),
                 );
+                print_store_stats(cache.store());
             }
             Ok(ExitCode::SUCCESS)
         }
@@ -1183,6 +1437,7 @@ fn run(options: &Options) -> Result<ExitCode, CliError> {
             Ok(ExitCode::SUCCESS)
         }
         "exp" => exp_command(options),
+        "store" => store_command(options),
         "serve" => serve(options),
         "client" => client_command(options),
         other => Err(CliError::Other(format!("unknown command `{other}`"))),

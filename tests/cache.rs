@@ -190,3 +190,62 @@ fn pooled_batch_error_matches_scoped_error() {
         "cancellation statistics drifted between dispatch strategies"
     );
 }
+
+#[test]
+fn concurrent_clients_share_the_disk_tier_too() {
+    // Same hammer, with a store underneath: the racing threads must
+    // still converge on one compile, one entry file, and a warm cache
+    // over the same directory must then serve everything from disk.
+    const THREADS: usize = 8;
+    let dir = std::env::temp_dir().join(format!("scenic-cache-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let world = Arc::new(World::generate(MapConfig::default()).core().clone());
+    let digest = {
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let cache = Arc::new(ScenarioCache::with_store(store));
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let world = Arc::clone(&world);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache
+                        .get_or_compile("gta", scenarios::SIMPLEST, &world)
+                        .expect("compiles")
+                })
+            })
+            .collect();
+        let all: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for entry in &all {
+            assert!(Arc::ptr_eq(&all[0], entry));
+        }
+        assert_eq!(cache.misses(), 1, "one compile despite the store race");
+        assert_eq!(cache.store().unwrap().entry_count(), 1);
+        let scenes = Sampler::new(&all[0])
+            .with_seed(5)
+            .sample_batch(2, 2)
+            .unwrap();
+        batch_digest(&scenes)
+    };
+    // Warm process (simulated by a fresh cache + store over the same
+    // directory): disk hit, zero compiles, identical scenes.
+    let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+    let cache = ScenarioCache::with_store(Arc::clone(&store));
+    let scenario = cache
+        .get_or_compile("gta", scenarios::SIMPLEST, &world)
+        .unwrap();
+    assert_eq!(cache.misses(), 0, "warm lookup must not compile");
+    assert_eq!(store.disk_hits(), 1);
+    let scenes = Sampler::new(&scenario)
+        .with_seed(5)
+        .sample_batch(2, 2)
+        .unwrap();
+    assert_eq!(
+        batch_digest(&scenes),
+        digest,
+        "disk tier changed the scenes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -16,7 +16,11 @@ fn write_scenario(name: &str, source: &str) -> PathBuf {
 }
 
 fn run(args: &[&str]) -> Output {
+    // Store off by default: these tests pin compile counts and stderr
+    // byte-for-byte, which a warm user-level artifact store would
+    // change. Store-specific tests opt back in with explicit --store.
     Command::new(scenic_bin())
+        .env("SCENIC_STORE", "off")
         .args(args)
         .output()
         .expect("failed to launch scenic binary")
@@ -679,6 +683,7 @@ fn engine_shows_in_stats_and_bogus_engine_is_rejected() {
 fn spawn_daemon() -> (std::process::Child, String) {
     use std::io::BufRead;
     let mut child = Command::new(scenic_bin())
+        .env("SCENIC_STORE", "off")
         .args(["serve", "--port", "0"])
         .stdout(std::process::Stdio::piped())
         .spawn()

@@ -36,21 +36,25 @@ fn bundled(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
 }
 
-fn compile_bundled(name: &str, world: &str) -> scenic::core::Scenario {
-    // Worlds are deterministic and immutable, so the gta/mars instances
-    // are generated once and shared (map generation is the expensive
-    // part of this suite).
+/// The shared world instance a bundled scenario compiles against.
+/// Worlds are deterministic and immutable, so the gta/mars instances
+/// are generated once and shared (map generation is the expensive part
+/// of this suite).
+fn bundled_world(world: &str) -> &'static scenic::core::World {
     use std::sync::OnceLock;
     static GTA: OnceLock<scenic::core::World> = OnceLock::new();
     static MARS: OnceLock<scenic::core::World> = OnceLock::new();
     static BARE: OnceLock<scenic::core::World> = OnceLock::new();
-    let source = bundled(name);
-    let w = match world {
+    match world {
         "gta" => GTA.get_or_init(|| World::generate(MapConfig::default()).core().clone()),
         "mars" => MARS.get_or_init(scenic::mars::world),
         _ => BARE.get_or_init(scenic::core::World::bare),
-    };
-    compile_with_world(&source, w).expect("bundled scenario compiles")
+    }
+}
+
+fn compile_bundled(name: &str, world: &str) -> scenic::core::Scenario {
+    let source = bundled(name);
+    compile_with_world(&source, bundled_world(world)).expect("bundled scenario compiles")
 }
 
 #[test]
@@ -183,4 +187,59 @@ fn batch_agrees_with_derived_seeded_draws() {
         let expected = Sampler::new(&scenario).sample_seeded(seed).unwrap();
         assert_eq!(digest(scene), digest(&expected), "scene {i}");
     }
+}
+
+// ---------------------------------------------------------------------
+// The on-disk artifact store: every pinned digest must hold when the
+// scenario round-trips through the store (cold compile + write-back,
+// then a warm load in a fresh cache with zero compiles). If a digest
+// drifts only on the warm pass, the store's encode/decode lost part of
+// the scenario (program, prune plan, or world linkage).
+// ---------------------------------------------------------------------
+
+#[test]
+fn batch_digests_hold_through_the_disk_store() {
+    use std::sync::Arc;
+    let dir = std::env::temp_dir().join(format!("scenic-determinism-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Cold pass: a store-backed cache compiles and persists each
+    // bundled scenario; the digests must already match the table.
+    {
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let cache = ScenarioCache::with_store(store);
+        for (name, world_name, expected) in BUNDLED_BATCH_DIGESTS {
+            let source = bundled(name);
+            let scenario = cache
+                .get_or_compile(world_name, &source, bundled_world(world_name))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let scenes = Sampler::new(&scenario)
+                .with_seed(7)
+                .sample_batch(3, 2)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(batch_digest(&scenes), *expected, "{name}: cold digest");
+        }
+        assert_eq!(cache.misses(), BUNDLED_BATCH_DIGESTS.len());
+    }
+    // Warm pass: a fresh cache over the same directory must serve every
+    // scenario from disk — zero compiles — and reproduce the digests.
+    let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+    let cache = ScenarioCache::with_store(Arc::clone(&store));
+    for (name, world_name, expected) in BUNDLED_BATCH_DIGESTS {
+        let source = bundled(name);
+        let scenario = cache
+            .get_or_compile(world_name, &source, bundled_world(world_name))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let scenes = Sampler::new(&scenario)
+            .with_seed(7)
+            .sample_batch(3, 3)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            batch_digest(&scenes),
+            *expected,
+            "{name}: warm digest through the disk store"
+        );
+    }
+    assert_eq!(cache.misses(), 0, "warm pass must not compile anything");
+    assert_eq!(store.disk_hits(), BUNDLED_BATCH_DIGESTS.len());
+    let _ = std::fs::remove_dir_all(&dir);
 }
